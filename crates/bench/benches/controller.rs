@@ -1,0 +1,36 @@
+//! §4.3 benchmark: full controller sessions (calibration + jump-start +
+//! observation/reaction loop), contrasting queueing-model jump-start with
+//! a cold start at MPL 1 — the ablation behind the paper's claim that the
+//! jump-start is what makes small constant reaction steps viable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xsched_core::{Driver, RunConfig, Targets};
+use xsched_workload::setup;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("controller");
+    g.sample_size(10);
+    let rc = RunConfig {
+        warmup_txns: 50,
+        measured_txns: 400,
+        ..Default::default()
+    };
+    g.bench_function("session_jumpstart_setup1", |b| {
+        let d = Driver::new(setup(1)).with_config(rc.clone());
+        b.iter(|| {
+            let o = d.run_controller_with_start(Targets::twenty_percent(), None);
+            o.iterations
+        });
+    });
+    g.bench_function("session_cold_setup1", |b| {
+        let d = Driver::new(setup(1)).with_config(rc.clone());
+        b.iter(|| {
+            let o = d.run_controller_with_start(Targets::twenty_percent(), Some(1));
+            o.iterations
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Fig. 3 driver benchmark: I/O-bound simulation runs on 1 vs 4 disks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xsched_core::{Driver, PolicyKind, RunConfig};
+use xsched_workload::{setup, ArrivalProcess};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_io_tput");
+    g.sample_size(10);
+    for (label, id) in [("1disk", 5u32), ("4disks", 8)] {
+        g.bench_with_input(BenchmarkId::new(label, 10), &id, |b, &id| {
+            let rc = RunConfig {
+                warmup_txns: 50,
+                measured_txns: 400,
+                ..Default::default()
+            };
+            let d = Driver::new(setup(id)).with_config(rc);
+            b.iter(|| {
+                let r = d.run(10, PolicyKind::Fifo, &ArrivalProcess::saturated(100));
+                assert!(r.throughput > 0.0);
+                r.throughput
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

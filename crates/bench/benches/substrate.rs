@@ -1,0 +1,83 @@
+//! Microbenchmarks of the DBMS substrate components: lock manager
+//! grant/release cycles, buffer-pool probes, CPU-bank churn, Zipf
+//! sampling and the event queue — the inner loops every simulated
+//! experiment turns millions of times.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xsched_dbms::bufferpool::BufferPool;
+use xsched_dbms::cpu::CpuBank;
+use xsched_dbms::lock::LockManager;
+use xsched_dbms::{CpuPolicy, LockPriorityPolicy};
+use xsched_dbms::txn::{ItemId, LockMode, PageId, Priority, TxnId};
+use xsched_sim::zipf::Zipf;
+use xsched_sim::{EventQueue, SimRng, SimTime};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("lock_grant_release_uncontended", |b| {
+        let mut lm = LockManager::new(LockPriorityPolicy::None);
+        let mut n = 0u64;
+        b.iter(|| {
+            let t = TxnId(n);
+            n += 1;
+            for i in 0..8u64 {
+                let _ = lm.request(t, Priority::Low, ItemId(i), LockMode::Shared);
+            }
+            lm.release_all(t).len()
+        });
+    });
+
+    c.bench_function("bufferpool_probe_hit", |b| {
+        let mut bp = BufferPool::new(10_000);
+        for i in 0..10_000u64 {
+            bp.insert(PageId(i));
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 10_000;
+            bp.probe(PageId(i))
+        });
+    });
+
+    c.bench_function("cpu_bank_churn_16_jobs", |b| {
+        let mut bank = CpuBank::new(2, CpuPolicy::Fair);
+        let mut t = 0.0f64;
+        let mut n = 0u64;
+        for k in 0..16u64 {
+            bank.add(t, TxnId(k), 1e9, Priority::Low);
+        }
+        b.iter(|| {
+            t += 1e-4;
+            let id = TxnId(16 + n);
+            n += 1;
+            bank.add(t, id, 0.001, Priority::Low);
+            t += 1e-4;
+            bank.remove(t, id);
+            bank.next_completion(t)
+        });
+    });
+
+    c.bench_function("zipf_sample_1m", |b| {
+        let z = Zipf::new(1_000_000, 0.9);
+        let mut rng = SimRng::seed_from_u64(1);
+        b.iter(|| z.sample(&mut rng));
+    });
+
+    c.bench_function("event_queue_push_pop_64", |b| {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            for i in 0..64u64 {
+                t += 17;
+                q.schedule(SimTime::from_nanos(t + i * 31), i);
+            }
+            let mut sum = 0u64;
+            for _ in 0..64 {
+                sum += q.pop().unwrap().1;
+            }
+            sum
+        });
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p xsched-bench --bin figures -- all
+//! cargo run --release -p xsched-bench --bin figures -- fig2 fig7
+//! cargo run --release -p xsched-bench --bin figures -- --quick all
+//! ```
+
+use xsched_bench::*;
+use xsched_core::RunConfig;
+
+const EXPERIMENTS: &[&str] = &[
+    "table1", "table2", "fig2", "fig3", "fig4", "fig5", "c2", "rt_open", "fig7", "fig9", "fig10",
+    "controller", "ablation_jumpstart", "fig11a", "fig11b", "fig12", "fig13",
+    "ablation_policy", "ablation_dbms", "crosscheck",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let names: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let names: Vec<&str> = if names.is_empty() || names.contains(&"all") {
+        EXPERIMENTS.to_vec()
+    } else {
+        names
+    };
+
+    let rc = if quick {
+        RunConfig {
+            warmup_txns: 100,
+            measured_txns: 800,
+            ..Default::default()
+        }
+    } else {
+        RunConfig {
+            warmup_txns: 500,
+            measured_txns: 4_000,
+            ..Default::default()
+        }
+    };
+    // Controller sessions and priority experiments run many inner runs;
+    // use a lighter config for them unless asked for full length.
+    let rc_heavy = if quick {
+        RunConfig {
+            warmup_txns: 100,
+            measured_txns: 600,
+            ..Default::default()
+        }
+    } else {
+        RunConfig {
+            warmup_txns: 300,
+            measured_txns: 2_000,
+            ..Default::default()
+        }
+    };
+
+    for name in names {
+        let started = std::time::Instant::now();
+        let report = match name {
+            "table1" => table1_report(),
+            "table2" => table2_report(),
+            "fig2" => fig2_report(&rc),
+            "fig3" => fig3_report(&rc),
+            "fig4" => fig4_report(&rc),
+            "fig5" => fig5_report(&rc),
+            "c2" => c2_report(),
+            "rt_open" => rt_open_report(&rc_heavy),
+            "fig7" => fig7_report(),
+            "fig9" => fig9_report(),
+            "fig10" => fig10_report(),
+            "controller" => controller_report(&rc_heavy, &(1..=17).collect::<Vec<_>>()),
+            "ablation_jumpstart" => controller_ablation_report(&rc_heavy, &[1, 3, 5, 11]),
+            "fig11a" => fig11_report(&rc_heavy, 0.05),
+            "fig11b" => fig11_report(&rc_heavy, 0.20),
+            "fig12" => fig12_report(&rc_heavy),
+            "fig13" => fig13_report(&rc_heavy),
+            "ablation_policy" => policy_ablation_report(&rc_heavy),
+            "ablation_dbms" => dbms_ablation_report(&rc_heavy),
+            "crosscheck" => qbd_crosscheck_report(),
+            other => {
+                eprintln!("unknown experiment `{other}`; known: {EXPERIMENTS:?}");
+                std::process::exit(2);
+            }
+        };
+        println!("{report}");
+        eprintln!("[{name} took {:.1}s]\n", started.elapsed().as_secs_f64());
+    }
+}

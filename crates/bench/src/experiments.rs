@@ -1,0 +1,650 @@
+//! One function per table/figure of Schroeder et al. (ICDE 2006).
+//!
+//! Simulation-backed experiments take a [`RunConfig`] so the `figures`
+//! binary can run them at full length while tests run them quickly.
+//! Analytic experiments (Figs. 7 and 10) take no configuration — they are
+//! exact.
+
+use crate::fmt::{f1, f2, f3, ms, table};
+use xsched_core::{Driver, PolicyKind, RunConfig, Targets};
+use xsched_dbms::{CpuPolicy, LockPriorityPolicy};
+use xsched_queueing::{flex::FlexServer, mg1, recommend, ClosedNetwork, H2, ThroughputModel};
+use xsched_workload::{setup, setups, trace, workloads, ArrivalProcess};
+
+/// The MPL grid used by the throughput figures.
+pub const MPL_GRID: [u32; 10] = [1, 2, 3, 5, 7, 10, 15, 20, 30, 40];
+
+/// Heavy-tailed (C² ≈ 15) workloads need much longer measurement windows:
+/// with completion-count windows the rare huge transactions accumulate
+/// past the window's end and measured throughput is biased upward. Scale
+/// the run length for the browsing setups so references are unbiased.
+fn rc_for(id: u32, rc: &RunConfig) -> RunConfig {
+    if setup(id).workload.name.contains("browsing") || setup(id).workload.name.contains("ordering") {
+        RunConfig {
+            warmup_txns: rc.warmup_txns * 3,
+            measured_txns: rc.measured_txns * 5,
+            min_warmup_time: 400.0,
+            ..rc.clone()
+        }
+    } else {
+        rc.clone()
+    }
+}
+
+/// Table 1: the six workload definitions with their derived statistics.
+pub fn table1_report() -> String {
+    let rows: Vec<Vec<String>> = workloads()
+        .iter()
+        .map(|w| {
+            let (mean_cached, c2_cached) = w.intrinsic_demand_stats(0.0);
+            let (mean_io, _) = w.intrinsic_demand_stats(0.005);
+            vec![
+                w.name.to_string(),
+                w.db_pages.to_string(),
+                w.hot_items.to_string(),
+                f1(w.mean_pages()),
+                ms(w.mean_cpu()),
+                ms(mean_cached),
+                ms(mean_io),
+                f1(c2_cached),
+            ]
+        })
+        .collect();
+    format!(
+        "Table 1 — workloads (derived statistics)\n{}",
+        table(
+            &[
+                "workload",
+                "db pages",
+                "hot items",
+                "pages/txn",
+                "cpu ms",
+                "demand ms (cached)",
+                "demand ms (uncached)",
+                "C2",
+            ],
+            &rows,
+        )
+    )
+}
+
+/// Table 2: the 17 setups.
+pub fn table2_report() -> String {
+    let rows: Vec<Vec<String>> = setups()
+        .iter()
+        .map(|s| {
+            vec![
+                s.id.to_string(),
+                s.workload.name.to_string(),
+                s.hw.cpus.to_string(),
+                s.hw.data_disks.to_string(),
+                format!("{:?}", s.cfg.isolation),
+                s.hw.bufferpool_pages.to_string(),
+                s.clients.to_string(),
+            ]
+        })
+        .collect();
+    format!(
+        "Table 2 — setups\n{}",
+        table(
+            &["setup", "workload", "CPUs", "disks", "isolation", "pool pages", "clients"],
+            &rows,
+        )
+    )
+}
+
+/// Throughput-vs-MPL table for a set of setups (the engine behind
+/// Figs. 2–5). Returns `(report, curves)` where `curves[i][j]` is the
+/// throughput of setup `i` at `MPL_GRID[j]`.
+pub fn throughput_curves(
+    labels: &[(&str, u32)],
+    rc: &RunConfig,
+) -> (String, Vec<Vec<f64>>) {
+    let mut rows = Vec::new();
+    let mut curves = Vec::new();
+    for (label, id) in labels {
+        let d = Driver::new(setup(*id)).with_config(rc_for(*id, rc));
+        let results = d.throughput_curve(&MPL_GRID);
+        let tputs: Vec<f64> = results.iter().map(|r| r.throughput).collect();
+        let mut row = vec![format!("{label} (setup {id})")];
+        row.extend(tputs.iter().map(|t| f1(*t)));
+        rows.push(row);
+        curves.push(tputs);
+    }
+    let mut headers: Vec<String> = vec!["curve".to_string()];
+    headers.extend(MPL_GRID.iter().map(|m| format!("MPL {m}")));
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    (table(&headers_ref, &rows), curves)
+}
+
+/// Fig. 2: throughput vs. MPL for the CPU-bound workloads, 1 vs 2 CPUs.
+pub fn fig2_report(rc: &RunConfig) -> String {
+    let (t, _) = throughput_curves(
+        &[
+            ("W_CPU-inventory 1 CPU", 1),
+            ("W_CPU-inventory 2 CPUs", 2),
+            ("W_CPU-browsing 1 CPU", 3),
+            ("W_CPU-browsing 2 CPUs", 4),
+        ],
+        rc,
+    );
+    format!("Fig. 2 — effect of MPL on throughput, CPU-bound workloads\n{t}")
+}
+
+/// Fig. 3: throughput vs. MPL for the I/O-bound workloads, 1–4 disks.
+pub fn fig3_report(rc: &RunConfig) -> String {
+    let (t, _) = throughput_curves(
+        &[
+            ("W_IO-inventory 1 disk", 5),
+            ("W_IO-inventory 2 disks", 6),
+            ("W_IO-inventory 3 disks", 7),
+            ("W_IO-inventory 4 disks", 8),
+            ("W_IO-browsing 1 disk", 9),
+            ("W_IO-browsing 4 disks", 10),
+        ],
+        rc,
+    );
+    format!("Fig. 3 — effect of MPL on throughput, I/O-bound workloads\n{t}")
+}
+
+/// Fig. 4: throughput vs. MPL for the balanced CPU+I/O workload.
+pub fn fig4_report(rc: &RunConfig) -> String {
+    let (t, _) = throughput_curves(
+        &[
+            ("W_CPU+IO-inventory 1 disk 1 CPU", 11),
+            ("W_CPU+IO-inventory 4 disks 2 CPUs", 12),
+        ],
+        rc,
+    );
+    format!("Fig. 4 — effect of MPL on throughput, balanced workload\n{t}")
+}
+
+/// Fig. 5: throughput vs. MPL under heavy (RR) vs light (UR) locking.
+pub fn fig5_report(rc: &RunConfig) -> String {
+    let grid: Vec<u32> = vec![1, 2, 5, 10, 20, 40, 70, 100];
+    let mut rows = Vec::new();
+    for (label, id) in [
+        ("W_CPU-inventory RR", 1u32),
+        ("W_CPU-inventory UR", 17),
+        ("W_CPU-ordering 2cpu RR", 15),
+        ("W_CPU-ordering 2cpu UR", 16),
+    ] {
+        let d = Driver::new(setup(id)).with_config(rc.clone());
+        let results = d.throughput_curve(&grid);
+        let mut row = vec![format!("{label} (setup {id})")];
+        row.extend(results.iter().map(|r| f1(r.throughput)));
+        rows.push(row);
+    }
+    let mut headers: Vec<String> = vec!["curve".to_string()];
+    headers.extend(grid.iter().map(|m| format!("MPL {m}")));
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    format!(
+        "Fig. 5 — effect of MPL on throughput under heavy locking (RR) vs light (UR)\n{}",
+        table(&headers_ref, &rows)
+    )
+}
+
+/// §3.2: squared coefficients of variation of the intrinsic demands —
+/// TPC-C ≈ 1–1.5, commercial traces ≈ 2, TPC-W ≈ 15.
+pub fn c2_report() -> String {
+    let mut rows = Vec::new();
+    for w in workloads() {
+        let io_cost = if w.name.contains("IO") { 0.005 } else { 0.0 };
+        let (mean, c2) = w.intrinsic_demand_stats(io_cost);
+        rows.push(vec![w.name.to_string(), ms(mean), f1(c2)]);
+    }
+    for w in [trace::retailer(), trace::auction()] {
+        let (mean, c2) = w.intrinsic_demand_stats(0.0);
+        rows.push(vec![w.name.to_string(), ms(mean), f1(c2)]);
+    }
+    format!(
+        "§3.2 — demand variability (paper: TPC-C 1.0–1.5, traces ≈ 2, TPC-W ≈ 15)\n{}",
+        table(&["workload", "mean demand ms", "C2"], &rows)
+    )
+}
+
+/// §3.2 (open system): mean response time vs. MPL at fixed load for a
+/// low-variability (TPC-C) and a high-variability (TPC-W) workload.
+pub fn rt_open_report(rc: &RunConfig) -> String {
+    let mpls = [2u32, 4, 8, 15, 30, 100];
+    let mut rows = Vec::new();
+    for (label, id) in [("W_CPU-inventory (C2~1)", 1u32), ("W_CPU-browsing (C2~15)", 3)] {
+        for load in [0.7, 0.9] {
+            let d = Driver::new(setup(id)).with_config(rc_for(id, rc));
+            let capacity = d.reference().throughput;
+            let arr = ArrivalProcess::open(load * capacity);
+            let mut row = vec![format!("{label} load {load}")];
+            for &m in &mpls {
+                let r = d.run(m, PolicyKind::Fifo, &arr);
+                row.push(ms(r.mean_rt));
+            }
+            rows.push(row);
+        }
+    }
+    let mut headers: Vec<String> = vec!["workload".to_string()];
+    headers.extend(mpls.iter().map(|m| format!("MPL {m} (ms)")));
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    format!(
+        "§3.2 — open system (Poisson) mean response time vs MPL\n{}",
+        table(&headers_ref, &rows)
+    )
+}
+
+/// Fig. 7: analytic throughput vs. MPL for 1–16 balanced disks, plus the
+/// minimum MPLs for 80% and 95% of maximum throughput (the circles and
+/// squares, which fall on straight lines).
+pub fn fig7_report() -> String {
+    let disk_counts = [1usize, 2, 3, 4, 8, 16];
+    let mpls = [1u32, 2, 5, 10, 20, 40, 70, 100];
+    let mut rows = Vec::new();
+    for &d in &disk_counts {
+        // Unit total demand, evenly striped: max throughput = d jobs/s.
+        let net = ClosedNetwork::balanced(d, 1.0);
+        let mut row = vec![format!("{d} disks")];
+        for &m in &mpls {
+            row.push(f2(net.throughput(m)));
+        }
+        // The paper's circles/squares use the *observed* maximum — the
+        // throughput at the full client population (100) — as the 100%
+        // mark; report those alongside the asymptotic-bound variant.
+        let x100 = net.throughput(100);
+        let against_observed = |frac: f64| -> u32 {
+            (1..=100u32)
+                .find(|&n| net.throughput(n) >= frac * x100)
+                .unwrap_or(100)
+        };
+        row.push(against_observed(0.80).to_string());
+        row.push(against_observed(0.95).to_string());
+        let model = ThroughputModel::balanced(d);
+        row.push(recommend::min_mpl_for_throughput(&model, 0.95).to_string());
+        rows.push(row);
+    }
+    let mut headers: Vec<String> = vec!["model".to_string()];
+    headers.extend(mpls.iter().map(|m| format!("X(MPL {m})")));
+    headers.push("MPL@80% of X(100)".into());
+    headers.push("MPL@95% of X(100)".into());
+    headers.push("MPL@95% of bound".into());
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    format!(
+        "Fig. 7 — MVA analysis: throughput vs MPL by #disks (80%/95% loci are linear in #disks)\n{}",
+        table(&headers_ref, &rows)
+    )
+}
+
+/// Fig. 9: the continuous-time Markov chain of the flexible multiserver
+/// queue with MPL = 2 — printed as its QBD generator blocks (the paper
+/// draws the same transitions as a state diagram). Entries are rates; row
+/// = source phase count `j` (in-service jobs in phase 1), column = target.
+pub fn fig9_report() -> String {
+    let h2 = H2::fit(1.0, 5.0);
+    let fs = FlexServer::new(0.7, h2, 2);
+    let (a0, a1, a2) = fs.repeating_blocks();
+    let fmt_block = |name: &str, m: &xsched_queueing::Mat| -> String {
+        let mut rows = Vec::new();
+        for i in 0..m.rows() {
+            let mut row = vec![format!("j={i}")];
+            for j in 0..m.cols() {
+                row.push(format!("{:+.3}", m[(i, j)]));
+            }
+            rows.push(row);
+        }
+        let mut headers = vec![name.to_string()];
+        headers.extend((0..m.cols()).map(|j| format!("→ j={j}")));
+        let hr: Vec<&str> = headers.iter().map(String::as_str).collect();
+        table(&hr, &rows)
+    };
+    format!(
+        "Fig. 9 — CTMC of the flexible multiserver queue (MPL = 2, H2 with C²=5, λ=0.7)\n\
+         repeating QBD blocks for levels n ≥ 3 (λ = arrival, μ1 = {:.3}, μ2 = {:.3}, p = {:.3}):\n\n\
+         {}\n{}\n{}\n\
+         A0 = arrivals (level up), A1 = local (diagonal), A2 = departures with\n\
+         head-of-line backfill (level down) — exactly the transition structure\n\
+         the paper's Fig. 9 draws state by state.\n",
+        h2.mu1,
+        h2.mu2,
+        h2.p,
+        fmt_block("A0 (n -> n+1)", &a0),
+        fmt_block("A1 (local)", &a1),
+        fmt_block("A2 (n -> n-1)", &a2),
+    )
+}
+
+/// Fig. 10: flexible-multiserver mean response time vs. MPL for
+/// C² ∈ {{2, 5, 10, 15}} at loads 0.7 and 0.9, with the PS asymptote.
+pub fn fig10_report() -> String {
+    let mean_size = 0.1; // 100 ms mean service requirement
+    let mpls = [1u32, 2, 5, 10, 15, 20, 25, 30, 35];
+    let mut out = String::new();
+    for load in [0.7, 0.9] {
+        let lambda = load / mean_size;
+        let ps = mg1::mg1_ps_response_time(lambda, mean_size);
+        let mut rows = Vec::new();
+        for c2 in [2.0, 5.0, 10.0, 15.0] {
+            let h2 = H2::fit(mean_size, c2);
+            let mut row = vec![format!("C2={c2}")];
+            for &m in &mpls {
+                let t = FlexServer::new(lambda, h2, m).mean_response_time();
+                row.push(ms(t));
+            }
+            rows.push(row);
+        }
+        let mut ps_row = vec!["PS".to_string()];
+        ps_row.extend(std::iter::repeat_n(ms(ps), mpls.len()));
+        rows.push(ps_row);
+        let mut headers: Vec<String> = vec!["job sizes".to_string()];
+        headers.extend(mpls.iter().map(|m| format!("MPL {m} (ms)")));
+        let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+        out.push_str(&format!(
+            "Fig. 10 — CTMC evaluation, load {load}: mean response time (ms) vs MPL\n{}\n",
+            table(&headers_ref, &rows)
+        ));
+    }
+    out
+}
+
+/// §4.3: controller sessions on a set of setups — jump-start value, final
+/// MPL, iterations to convergence (paper: < 10 everywhere).
+pub fn controller_report(rc: &RunConfig, ids: &[u32]) -> String {
+    let mut rows = Vec::new();
+    for &id in ids {
+        let d = Driver::new(setup(id)).with_config(rc_for(id, rc));
+        let out = d.run_controller(Targets::five_percent());
+        rows.push(vec![
+            id.to_string(),
+            out.jumpstart_mpl.to_string(),
+            out.final_mpl.to_string(),
+            out.iterations.to_string(),
+            out.converged.to_string(),
+            f1(out.reference_tput),
+        ]);
+    }
+    format!(
+        "§4.3 — controller convergence (5% targets)\n{}",
+        table(
+            &["setup", "jumpstart", "final MPL", "iterations", "converged", "ref tput"],
+            &rows,
+        )
+    )
+}
+
+/// Jump-start ablation: iterations to convergence starting from the
+/// queueing-model value vs. cold-starting at MPL 1.
+pub fn controller_ablation_report(rc: &RunConfig, ids: &[u32]) -> String {
+    let mut rows = Vec::new();
+    for &id in ids {
+        let d = Driver::new(setup(id)).with_config(rc_for(id, rc));
+        let warm = d.run_controller_with_start(Targets::five_percent(), None);
+        let cold = d.run_controller_with_start(Targets::five_percent(), Some(1));
+        rows.push(vec![
+            id.to_string(),
+            warm.jumpstart_mpl.to_string(),
+            warm.iterations.to_string(),
+            cold.iterations.to_string(),
+        ]);
+    }
+    format!(
+        "Ablation — controller iterations: queueing jump-start vs cold start at MPL 1\n{}",
+        table(&["setup", "jumpstart MPL", "iters (jumpstart)", "iters (cold)"], &rows)
+    )
+}
+
+/// Fig. 11: external prioritization across all 17 setups at a given
+/// throughput-loss budget (0.05 for the top plot, 0.20 for the bottom).
+pub fn fig11_report(rc: &RunConfig, loss: f64) -> String {
+    let mut rows = Vec::new();
+    let mut diffs = Vec::new();
+    let mut penalties = Vec::new();
+    for id in 1..=17u32 {
+        let d = Driver::new(setup(id)).with_config(rc_for(id, rc));
+        let o = d.priority_experiment(loss);
+        diffs.push(o.differentiation());
+        penalties.push(o.low_penalty());
+        rows.push(vec![
+            id.to_string(),
+            o.mpl.to_string(),
+            f2(o.rt_high),
+            f2(o.rt_low),
+            f2(o.rt_noprio),
+            f2(o.rt_overall),
+            f1(o.differentiation()),
+            f2(o.low_penalty()),
+        ]);
+    }
+    let gmean = |v: &[f64]| -> f64 {
+        (v.iter().map(|x| x.max(1e-9).ln()).sum::<f64>() / v.len() as f64).exp()
+    };
+    format!(
+        "Fig. 11 — external prioritization, {}% throughput-loss budget\n{}\nmean differentiation (geo): {:.1}x   mean low-priority penalty: {:.2}x\n",
+        (loss * 100.0) as u32,
+        table(
+            &["setup", "MPL", "high RT s", "low RT s", "no-prio RT s", "overall RT s", "low/high", "low/noprio"],
+            &rows,
+        ),
+        gmean(&diffs),
+        penalties.iter().sum::<f64>() / penalties.len() as f64,
+    )
+}
+
+/// One internal-vs-external comparison row set (Figs. 12–13 bars).
+fn internal_vs_external(
+    id: u32,
+    internal_label: &str,
+    mutate: impl Fn(&mut xsched_workload::Setup),
+    rc: &RunConfig,
+) -> String {
+    let mut rows = Vec::new();
+    // Internal prioritization: no external limit; DBMS-internal policy on.
+    let rc = rc_for(id, rc);
+    let mut s_int = setup(id);
+    mutate(&mut s_int);
+    let d_int = Driver::new(s_int).with_config(rc.clone());
+    let clients = d_int.setup().clients;
+    let r = d_int.run(clients, PolicyKind::Fifo, &d_int.saturated());
+    rows.push(vec![
+        internal_label.to_string(),
+        f2(r.rt_high),
+        f2(r.rt_low),
+        f2(r.mean_rt),
+        f1(r.throughput),
+    ]);
+    // External prioritization at 5% / 20% / ~0% throughput-loss budgets.
+    let d_ext = Driver::new(setup(id)).with_config(rc.clone());
+    for (label, loss) in [("ext95", 0.05), ("ext80", 0.20), ("ext100", 0.01)] {
+        let (mpl, _) = d_ext.find_mpl_for_loss(loss);
+        let r = d_ext.run(mpl, PolicyKind::Priority, &d_ext.saturated());
+        rows.push(vec![
+            format!("{label} (MPL {mpl})"),
+            f2(r.rt_high),
+            f2(r.rt_low),
+            f2(r.mean_rt),
+            f1(r.throughput),
+        ]);
+    }
+    table(
+        &["scheme", "high RT s", "low RT s", "mean RT s", "tput"],
+        &rows,
+    )
+}
+
+/// Fig. 12: internal lock-queue prioritization (POW) vs external
+/// scheduling on the lock-bound setup 1.
+pub fn fig12_report(rc: &RunConfig) -> String {
+    let t = internal_vs_external(
+        1,
+        "internal (POW locks)",
+        |s| s.cfg.lock_policy = LockPriorityPolicy::PreemptOnWait,
+        rc,
+    );
+    format!("Fig. 12 — internal (POW) vs external prioritization, setup 1 (lock-bound)\n{t}")
+}
+
+/// Fig. 13: internal CPU prioritization (renice) vs external scheduling on
+/// the CPU-bound setup 3.
+pub fn fig13_report(rc: &RunConfig) -> String {
+    let t = internal_vs_external(
+        3,
+        "internal (CPU prio)",
+        |s| s.cfg.cpu_policy = CpuPolicy::PrioritizeHigh,
+        rc,
+    );
+    format!("Fig. 13 — internal (CPU) vs external prioritization, setup 3 (CPU-bound)\n{t}")
+}
+
+/// Ablation: external queue policies at a fixed MPL — FIFO vs two-class
+/// priority vs SJF (mean and per-class response times).
+pub fn policy_ablation_report(rc: &RunConfig) -> String {
+    let d = Driver::new(setup(1)).with_config(rc.clone());
+    let (mpl, _) = d.find_mpl_for_loss(0.05);
+    let mut rows = Vec::new();
+    for (label, kind) in [
+        ("FIFO", PolicyKind::Fifo),
+        ("Priority", PolicyKind::Priority),
+        ("SJF", PolicyKind::Sjf),
+    ] {
+        let r = d.run(mpl, kind, &d.saturated());
+        rows.push(vec![
+            label.to_string(),
+            f2(r.mean_rt),
+            f2(r.rt_high),
+            f2(r.rt_low),
+            f2(r.p95_rt),
+            f1(r.throughput),
+        ]);
+    }
+    format!(
+        "Ablation — external queue policies at MPL {mpl} (setup 1)\n{}",
+        table(
+            &["policy", "mean RT s", "high RT s", "low RT s", "p95 RT s", "tput"],
+            &rows,
+        )
+    )
+}
+
+/// Ablation over the DBMS substrate features: group commit, asynchronous
+/// dirty-page write-back, and deadlock timeout vs detection — all on the
+/// lock-bound setup 1 at a fixed moderate MPL.
+pub fn dbms_ablation_report(rc: &RunConfig) -> String {
+    use xsched_dbms::DeadlockStrategy;
+    type Mutator = Box<dyn Fn(&mut xsched_workload::Setup)>;
+    let mpl = 10;
+    let mut rows = Vec::new();
+    let variants: Vec<(&str, Mutator)> = vec![
+        ("baseline", Box::new(|_s: &mut xsched_workload::Setup| {})),
+        (
+            "group commit",
+            Box::new(|s: &mut xsched_workload::Setup| s.cfg.group_commit = true),
+        ),
+        (
+            // 5% of touched pages ≈ 0.7 disk utilization at this
+            // throughput; higher fractions would saturate the single
+            // data disk with background writes.
+            "writeback 5%",
+            Box::new(|s: &mut xsched_workload::Setup| s.cfg.writeback_fraction = 0.05),
+        ),
+        (
+            "lock timeout 0.5s",
+            Box::new(|s: &mut xsched_workload::Setup| {
+                s.cfg.deadlock = DeadlockStrategy::Timeout { timeout: 0.5 }
+            }),
+        ),
+    ];
+    for (label, mutate) in variants {
+        let mut st = setup(1);
+        mutate(&mut st);
+        let d = Driver::new(st).with_config(rc.clone());
+        let r = d.run(mpl, PolicyKind::Fifo, &d.saturated());
+        rows.push(vec![
+            label.to_string(),
+            f1(r.throughput),
+            f2(r.mean_rt),
+            f3(r.aborts_per_txn),
+            f2(r.metrics.log_utilization()),
+            f2(r.metrics.disk_utilization()),
+        ]);
+    }
+    format!(
+        "Ablation — DBMS substrate features (setup 1, MPL {mpl})
+{}",
+        table(
+            &["variant", "tput", "mean RT s", "aborts/txn", "log util", "disk util"],
+            &rows,
+        )
+    )
+}
+
+/// QBD-vs-truncated-chain cross-check (accuracy of the matrix-geometric
+/// solver against an exact finite solve).
+pub fn qbd_crosscheck_report() -> String {
+    let mut rows = Vec::new();
+    for (c2, rho, mpl) in [(2.0, 0.7, 5u32), (15.0, 0.7, 10), (15.0, 0.9, 30)] {
+        let h2 = H2::fit(0.1, c2);
+        let lambda = rho / 0.1;
+        let fs = FlexServer::new(lambda, h2, mpl);
+        let qbd = fs.solve();
+        let tr = xsched_queueing::ctmc::solve_truncated(&fs, 2_000);
+        rows.push(vec![
+            format!("C2={c2} rho={rho} MPL={mpl}"),
+            ms(qbd.mean_response_time),
+            ms(tr.mean_response_time),
+            format!(
+                "{:.2e}",
+                (qbd.mean_response_time - tr.mean_response_time).abs()
+                    / tr.mean_response_time
+            ),
+            qbd.r_iterations.to_string(),
+        ]);
+    }
+    format!(
+        "Cross-check — matrix-geometric vs truncated chain\n{}",
+        table(
+            &["case", "QBD ms", "truncated ms", "rel err", "R iters"],
+            &rows,
+        )
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_reports_render() {
+        for r in [table1_report(), table2_report(), c2_report(), fig7_report(), fig10_report(), qbd_crosscheck_report()] {
+            assert!(r.lines().count() >= 4, "report too short:\n{r}");
+        }
+    }
+
+    #[test]
+    fn fig7_loci_are_linear_in_disks() {
+        // Closed-form: min MPL for fraction f with K balanced stations is
+        // ceil(f (K-1)/(1-f)) — check the computed squares follow it.
+        for d in [2usize, 4, 8, 16] {
+            let model = ThroughputModel::balanced(d);
+            let m95 = recommend::min_mpl_for_throughput(&model, 0.95);
+            let want = ((0.95 * (d as f64 - 1.0)) / 0.05).ceil() as u32;
+            assert_eq!(m95, want, "{d} disks");
+        }
+    }
+
+    #[test]
+    fn fig10_high_c2_curves_decay_toward_ps() {
+        let h2 = H2::fit(0.1, 15.0);
+        let lambda = 7.0;
+        let ps = mg1::mg1_ps_response_time(lambda, 0.1);
+        let t1 = FlexServer::new(lambda, h2, 1).mean_response_time();
+        let t35 = FlexServer::new(lambda, h2, 35).mean_response_time();
+        assert!(t1 > 3.0 * ps, "FIFO-like end is far above PS");
+        assert!((t35 - ps) / ps < 0.10, "MPL 35 is near PS");
+    }
+
+    #[test]
+    fn quick_sim_reports_render() {
+        let rc = RunConfig {
+            warmup_txns: 50,
+            measured_txns: 300,
+            ..Default::default()
+        };
+        let r = throughput_curves(&[("s1", 1)], &rc).0;
+        assert!(r.contains("MPL"));
+    }
+}

@@ -1,0 +1,16 @@
+#![warn(missing_docs)]
+//! Benchmark harness regenerating every table and figure of the paper.
+//!
+//! [`experiments`] holds one function per table/figure; each returns a
+//! plain-text report (the same rows/series the paper plots) so the
+//! `figures` binary can print them and the integration tests can assert on
+//! the underlying numbers. [`fmt`] has the small table/series formatters.
+//!
+//! Run `cargo run --release -p xsched-bench --bin figures -- all` to
+//! regenerate everything (takes a few minutes), or name an individual
+//! experiment (`fig2`, `fig7`, `fig11`, ...).
+
+pub mod experiments;
+pub mod fmt;
+
+pub use experiments::*;

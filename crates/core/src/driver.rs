@@ -1,0 +1,640 @@
+//! Experiment driver: workload + external scheduler + simulated DBMS.
+//!
+//! One [`Driver`] binds a Table-2 [`Setup`] to a run configuration and can
+//! reproduce each experiment shape in the paper:
+//!
+//! * [`Driver::throughput_curve`] — throughput vs. MPL under the saturated
+//!   closed system (Figs. 2–5),
+//! * [`Driver::run`] with [`ArrivalProcess::Open`] — open-system response
+//!   times at fixed load (§3.2),
+//! * [`Driver::find_mpl_for_loss`] — the lowest MPL within a throughput
+//!   budget (the per-setup tuning behind Fig. 11),
+//! * [`Driver::priority_experiment`] — high/low/no-priority mean response
+//!   times (Figs. 11–13's external bars),
+//! * [`Driver::run_controller`] — a live controller session: calibration,
+//!   queueing jump-start, observation/reaction until convergence (§4.3).
+//!
+//! Paired seeds: every run of a driver uses the same workload stream, so
+//! comparisons across MPLs or policies are common-random-number paired.
+
+use crate::controller::{
+    ControllerConfig, Decision, IterationRecord, MplController, Reference, Targets,
+};
+use crate::policy::{Fifo, PriorityFifo, QueuePolicy, QueuedTxn, Sjf, WeightedFair};
+use crate::scheduler::ExternalScheduler;
+use serde::Serialize;
+use xsched_dbms::txn::{PageId, Priority};
+use xsched_dbms::{DbmsMetrics, DbmsSim, StepOutcome};
+use xsched_sim::{SampleSet, SimRng, SimTime, Welford};
+use xsched_workload::{ArrivalProcess, Setup, TxnGen};
+
+/// Length and bookkeeping of one simulation run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunConfig {
+    /// Completions discarded before measurement starts.
+    pub warmup_txns: u64,
+    /// Completions measured after warm-up.
+    pub measured_txns: u64,
+    /// Master seed (workload stream, service times, backoffs).
+    pub seed: u64,
+    /// Hard wall on simulated seconds (guards pathological configs).
+    pub max_sim_time: f64,
+    /// Measurement additionally waits until this much simulated time has
+    /// passed (heavy-tailed workloads need the in-flight population of
+    /// huge transactions to reach steady state, which takes far longer
+    /// than `warmup_txns` completions).
+    pub min_warmup_time: f64,
+    /// Pre-populate the buffer pool with the hottest pages.
+    pub warm_pool: bool,
+    /// Fraction of transactions tagged high-priority (paper: 10%).
+    pub high_fraction: f64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            warmup_txns: 300,
+            measured_txns: 2_000,
+            seed: 42,
+            max_sim_time: 50_000.0,
+            min_warmup_time: 0.0,
+            warm_pool: true,
+            high_fraction: 0.10,
+        }
+    }
+}
+
+impl RunConfig {
+    /// A shorter configuration for quick tests.
+    pub fn quick() -> RunConfig {
+        RunConfig {
+            warmup_txns: 100,
+            measured_txns: 600,
+            ..Default::default()
+        }
+    }
+}
+
+/// External queue discipline selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum PolicyKind {
+    /// FIFO (no differentiation).
+    Fifo,
+    /// Two-class strict priority (§5.1).
+    Priority,
+    /// Shortest-job-first on estimated demand (extension).
+    Sjf,
+    /// Weighted fair sharing: 50% of dispatches to the high class while
+    /// both are backlogged (extension; starvation-free).
+    WeightedFair,
+}
+
+/// Measured outcome of one run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunResult {
+    /// MPL the run was executed with.
+    pub mpl: u32,
+    /// Throughput over the measurement window, txns/second.
+    pub throughput: f64,
+    /// Overall mean response time (external wait + DBMS time), seconds.
+    pub mean_rt: f64,
+    /// Mean response time of high-priority completions (0 if none).
+    pub rt_high: f64,
+    /// Mean response time of low-priority completions (0 if none).
+    pub rt_low: f64,
+    /// Measured high-priority completions.
+    pub count_high: u64,
+    /// Measured low-priority completions.
+    pub count_low: u64,
+    /// 95th percentile of overall response time, seconds.
+    pub p95_rt: f64,
+    /// Squared coefficient of variation of response times.
+    pub c2_rt: f64,
+    /// Mean time spent waiting in the external queue, seconds.
+    pub mean_external_wait: f64,
+    /// Mean time spent blocked in lock queues inside the DBMS, seconds.
+    pub mean_lock_wait: f64,
+    /// Abort events per measured completion.
+    pub aborts_per_txn: f64,
+    /// Resource-level metrics over the whole run.
+    pub metrics: DbmsMetrics,
+}
+
+impl RunResult {
+    /// Per-resource utilizations (CPU bank, then each data disk, then the
+    /// log disk) — the inputs the controller's jump-start model wants.
+    pub fn utilizations(&self, cpus: u32) -> Vec<f64> {
+        let mut u = vec![self.metrics.cpu_utilization(cpus)];
+        for d in &self.metrics.disk_busy {
+            u.push(if self.metrics.elapsed > 0.0 {
+                d / self.metrics.elapsed
+            } else {
+                0.0
+            });
+        }
+        u.push(self.metrics.log_utilization());
+        u
+    }
+}
+
+/// High/low/no-priority comparison (one cluster of bars in Fig. 11).
+#[derive(Debug, Clone, Serialize)]
+pub struct PriorityOutcome {
+    /// Setup id the experiment ran on.
+    pub setup_id: u32,
+    /// MPL chosen for the run (from the throughput-loss budget).
+    pub mpl: u32,
+    /// Mean response time of high-priority transactions, seconds.
+    pub rt_high: f64,
+    /// Mean response time of low-priority transactions, seconds.
+    pub rt_low: f64,
+    /// Mean response time with no prioritization and no MPL, seconds.
+    pub rt_noprio: f64,
+    /// Overall mean response time under prioritization, seconds.
+    pub rt_overall: f64,
+    /// Reference (MPL-less) throughput, txns/second.
+    pub reference_tput: f64,
+    /// Throughput achieved under the chosen MPL, txns/second.
+    pub achieved_tput: f64,
+}
+
+impl PriorityOutcome {
+    /// Differentiation factor between the classes (paper: ≈ 12× at 5%
+    /// loss, ≈ 16–18× at 20%).
+    pub fn differentiation(&self) -> f64 {
+        if self.rt_high == 0.0 {
+            0.0
+        } else {
+            self.rt_low / self.rt_high
+        }
+    }
+
+    /// Low-priority penalty relative to no prioritization (paper: ≈ 1.16
+    /// at 5% loss, ≈ 1.37 at 20%).
+    pub fn low_penalty(&self) -> f64 {
+        if self.rt_noprio == 0.0 {
+            0.0
+        } else {
+            self.rt_low / self.rt_noprio
+        }
+    }
+}
+
+/// Result of a live controller session.
+#[derive(Debug, Clone, Serialize)]
+pub struct ControllerOutcome {
+    /// MPL the controller settled on.
+    pub final_mpl: u32,
+    /// Observation/reaction iterations used (paper: < 10).
+    pub iterations: u32,
+    /// Jump-start value the queueing models supplied.
+    pub jumpstart_mpl: u32,
+    /// Reference performance from the calibration run.
+    pub reference_tput: f64,
+    /// Reference mean response time, seconds.
+    pub reference_rt: f64,
+    /// Whether the session converged within its budget.
+    pub converged: bool,
+    /// Per-window history (MPL in force, throughput, response time,
+    /// verdict).
+    pub trace: Vec<IterationRecord>,
+}
+
+/// Binds a setup to a run configuration; all experiments hang off this.
+pub struct Driver {
+    setup: Setup,
+    rc: RunConfig,
+}
+
+impl Driver {
+    /// Driver with the default run configuration.
+    pub fn new(setup: Setup) -> Driver {
+        Driver {
+            setup,
+            rc: RunConfig::default(),
+        }
+    }
+
+    /// Override the run configuration.
+    pub fn with_config(mut self, rc: RunConfig) -> Driver {
+        self.rc = rc;
+        self
+    }
+
+    /// The bound setup.
+    pub fn setup(&self) -> &Setup {
+        &self.setup
+    }
+
+    fn make_policy(&self, kind: PolicyKind) -> Box<dyn QueuePolicy> {
+        match kind {
+            PolicyKind::Fifo => Box::new(Fifo::new()),
+            PolicyKind::Priority => Box::new(PriorityFifo::new()),
+            PolicyKind::Sjf => Box::new(Sjf::new(self.setup.hw.disk_read_time)),
+            PolicyKind::WeightedFair => Box::new(WeightedFair::new(0.5)),
+        }
+    }
+
+    /// Execute one run at the given MPL, policy and arrival process.
+    pub fn run(&self, mpl: u32, kind: PolicyKind, arrivals: &ArrivalProcess) -> RunResult {
+        self.run_inner(mpl, kind, arrivals, None).0
+    }
+
+    /// The saturated closed system of the throughput experiments.
+    pub fn saturated(&self) -> ArrivalProcess {
+        ArrivalProcess::saturated(self.setup.clients)
+    }
+
+    /// Run without an effective MPL (limit = client population): the
+    /// paper's "original system" baseline.
+    pub fn reference(&self) -> RunResult {
+        self.run(self.setup.clients, PolicyKind::Fifo, &self.saturated())
+    }
+
+    /// Throughput (and everything else) at each MPL in `mpls`, saturated
+    /// closed system, FIFO queue — one curve of Figs. 2–5.
+    pub fn throughput_curve(&self, mpls: &[u32]) -> Vec<RunResult> {
+        mpls.iter()
+            .map(|&m| self.run(m, PolicyKind::Fifo, &self.saturated()))
+            .collect()
+    }
+
+    /// Lowest MPL whose throughput is within `loss` of the MPL-less
+    /// reference. Returns `(mpl, reference_run)`. Exponential then binary
+    /// search over the (noisily) monotone throughput curve; all runs share
+    /// the seed, so comparisons are paired.
+    pub fn find_mpl_for_loss(&self, loss: f64) -> (u32, RunResult) {
+        let reference = self.reference();
+        let target = (1.0 - loss) * reference.throughput;
+        let arr = self.saturated();
+        let feasible = |mpl: u32| -> bool {
+            self.run(mpl, PolicyKind::Fifo, &arr).throughput >= target
+        };
+        let cap = self.setup.clients;
+        // Exponential probe upward.
+        let mut hi = 1u32;
+        while hi < cap && !feasible(hi) {
+            hi = (hi * 2).min(cap);
+        }
+        if hi <= 1 {
+            return (1, reference);
+        }
+        let mut lo = hi / 2; // known infeasible (or 0)
+        // Binary search the boundary in (lo, hi].
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if feasible(mid) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        (hi, reference)
+    }
+
+    /// The Fig. 11 experiment on this setup: choose the MPL for the given
+    /// throughput-loss budget, run two-class priority scheduling, and
+    /// compare with the no-priority MPL-less baseline.
+    pub fn priority_experiment(&self, loss: f64) -> PriorityOutcome {
+        let (mpl, reference) = self.find_mpl_for_loss(loss);
+        let arr = self.saturated();
+        let prio = self.run(mpl, PolicyKind::Priority, &arr);
+        PriorityOutcome {
+            setup_id: self.setup.id,
+            mpl,
+            rt_high: prio.rt_high,
+            rt_low: prio.rt_low,
+            rt_noprio: reference.mean_rt,
+            rt_overall: prio.mean_rt,
+            reference_tput: reference.throughput,
+            achieved_tput: prio.throughput,
+        }
+    }
+
+    /// A live controller session (§4.3): calibrate against the MPL-less
+    /// system, jump-start from the queueing models, then observe/react
+    /// until convergence.
+    pub fn run_controller(&self, targets: Targets) -> ControllerOutcome {
+        self.run_controller_with_start(targets, None)
+    }
+
+    /// Controller session with an explicit starting MPL (used by the
+    /// jump-start-vs-cold-start ablation). `None` = use the queueing
+    /// jump-start.
+    pub fn run_controller_with_start(
+        &self,
+        targets: Targets,
+        start: Option<u32>,
+    ) -> ControllerOutcome {
+        let reference = self.reference();
+        let cpus = self.setup.hw.cpus;
+        let utils = reference.utilizations(cpus);
+        // Demand statistics for the response-time model: analytic mix C²,
+        // with the effective page cost discounted by the observed hit
+        // ratio.
+        let io_cost =
+            self.setup.hw.disk_read_time * (1.0 - reference.metrics.hit_ratio());
+        let (dmean, dc2) = self.setup.workload.intrinsic_demand_stats(io_cost);
+        let cfg = ControllerConfig {
+            targets,
+            max_mpl: self.setup.clients,
+            ..Default::default()
+        };
+        let jump = MplController::jumpstart(
+            &utils,
+            targets,
+            dmean,
+            dc2,
+            reference.throughput,
+            cfg.max_mpl,
+        );
+        let reference_ctl = Reference {
+            throughput: reference.throughput,
+            mean_rt: reference.mean_rt,
+        };
+        let initial = start.unwrap_or(jump);
+        let controller = MplController::new(cfg, reference_ctl, initial);
+        let (_, ctl) = self.run_inner(
+            initial,
+            PolicyKind::Fifo,
+            &self.saturated(),
+            Some(controller),
+        );
+        let ctl = ctl.expect("controller returned");
+        ControllerOutcome {
+            final_mpl: ctl.mpl(),
+            iterations: ctl.iterations(),
+            jumpstart_mpl: jump,
+            reference_tput: reference.throughput,
+            reference_rt: reference.mean_rt,
+            converged: ctl.is_converged(),
+            trace: ctl.trace().to_vec(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+
+    fn run_inner(
+        &self,
+        mpl: u32,
+        kind: PolicyKind,
+        arrivals: &ArrivalProcess,
+        mut controller: Option<MplController>,
+    ) -> (RunResult, Option<MplController>) {
+        let rc = &self.rc;
+        let setup = &self.setup;
+        let mut sim = DbmsSim::new(setup.hw.clone(), setup.cfg.clone(), rc.seed);
+        if rc.warm_pool {
+            let n = setup.hw.bufferpool_pages.min(setup.workload.db_pages);
+            // Zipf favours low page ids, so the first `n` pages are the
+            // steady-state-hot set.
+            sim.warm_bufferpool((0..n).rev().map(PageId));
+        }
+        let mut gen = TxnGen::new(setup.workload.clone(), rc.seed)
+            .with_high_fraction(rc.high_fraction);
+        let mut sched = ExternalScheduler::new(self.make_policy(kind), mpl);
+        let mut arr_rng = SimRng::derive(rc.seed, "arrivals");
+
+        // Seed the arrival process.
+        match arrivals {
+            ArrivalProcess::Closed { clients, .. } => {
+                for _ in 0..*clients {
+                    let d = arrivals.next_delay(&mut arr_rng);
+                    sim.schedule_external(SimTime::from_secs_f64(d), 0);
+                }
+            }
+            ArrivalProcess::Open { .. } => {
+                let d = arrivals.next_delay(&mut arr_rng);
+                sim.schedule_external(SimTime::from_secs_f64(d), 0);
+            }
+        }
+
+        // When a controller drives the run, keep running until it
+        // converges (or a generous completion budget runs out).
+        let measured_budget = if controller.is_some() {
+            100 * 1_000
+        } else {
+            rc.measured_txns
+        };
+
+        let mut completed: u64 = 0;
+        let mut measuring = false;
+        let mut meas_start_t = 0.0;
+        let mut meas_end_t = 0.0;
+        let mut rt_all = Welford::new();
+        let mut rt_hi = Welford::new();
+        let mut rt_lo = Welford::new();
+        let mut ext_wait = Welford::new();
+        let mut lock_wait = Welford::new();
+        let mut samples = SampleSet::new();
+        let mut aborts_at_meas_start = 0u64;
+
+        'outer: loop {
+            match sim.step() {
+                StepOutcome::Idle => break,
+                StepOutcome::External(_) => {
+                    let body = gen.next();
+                    let now = sim.now();
+                    sched.enqueue(QueuedTxn { body, arrival: now });
+                    while let Some(q) = sched.dispatch() {
+                        sim.submit(q.body, q.arrival);
+                    }
+                    if let ArrivalProcess::Open { .. } = arrivals {
+                        let d = arrivals.next_delay(&mut arr_rng);
+                        sim.schedule_external(
+                            SimTime::from_secs_f64(sim.now() + d),
+                            0,
+                        );
+                    }
+                }
+                StepOutcome::Advanced => {
+                    let completions = sim.drain_completions();
+                    if completions.is_empty() {
+                        continue;
+                    }
+                    for c in completions {
+                        completed += 1;
+                        sched.complete();
+                        if arrivals.is_closed() {
+                            let d = arrivals.next_delay(&mut arr_rng);
+                            sim.schedule_external(
+                                SimTime::from_secs_f64(sim.now() + d),
+                                0,
+                            );
+                        }
+                        if !measuring
+                            && completed >= rc.warmup_txns
+                            && c.completed >= rc.min_warmup_time
+                        {
+                            measuring = true;
+                            meas_start_t = c.completed;
+                            aborts_at_meas_start = sim.metrics().aborts;
+                        } else if measuring {
+                            let rt = c.response_time();
+                            rt_all.push(rt);
+                            samples.push(rt);
+                            ext_wait.push(c.external_wait());
+                            lock_wait.push(c.lock_wait);
+                            match c.priority {
+                                Priority::High => rt_hi.push(rt),
+                                Priority::Low => rt_lo.push(rt),
+                            }
+                            meas_end_t = c.completed;
+                            if let Some(ctl) = controller.as_mut() {
+                                ctl.observe(c.completed, rt);
+                                match ctl.react(c.completed) {
+                                    Some(Decision::SetMpl(m)) => sched.set_mpl(m),
+                                    Some(Decision::Converged(m)) => {
+                                        sched.set_mpl(m);
+                                        break 'outer;
+                                    }
+                                    None => {}
+                                }
+                            }
+                        }
+                        if rt_all.count() >= measured_budget {
+                            break 'outer;
+                        }
+                    }
+                    while let Some(q) = sched.dispatch() {
+                        sim.submit(q.body, q.arrival);
+                    }
+                }
+            }
+            if sim.now() > rc.max_sim_time {
+                break;
+            }
+        }
+
+        let metrics = sim.metrics();
+        let span = (meas_end_t - meas_start_t).max(1e-9);
+        let measured = rt_all.count();
+        let result = RunResult {
+            mpl,
+            throughput: measured as f64 / span,
+            mean_rt: rt_all.mean(),
+            rt_high: rt_hi.mean(),
+            rt_low: rt_lo.mean(),
+            count_high: rt_hi.count(),
+            count_low: rt_lo.count(),
+            p95_rt: samples.percentile(0.95),
+            c2_rt: rt_all.c2(),
+            mean_external_wait: ext_wait.mean(),
+            mean_lock_wait: lock_wait.mean(),
+            aborts_per_txn: if measured == 0 {
+                0.0
+            } else {
+                (metrics.aborts.saturating_sub(aborts_at_meas_start)) as f64 / measured as f64
+            },
+            metrics,
+        };
+        (result, controller)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsched_workload::setup;
+
+    fn quick_driver(id: u32) -> Driver {
+        Driver::new(setup(id)).with_config(RunConfig::quick())
+    }
+
+    #[test]
+    fn cpu_bound_throughput_rises_then_flattens() {
+        let d = quick_driver(1);
+        let curve = d.throughput_curve(&[1, 2, 5, 20]);
+        let x1 = curve[0].throughput;
+        let x5 = curve[2].throughput;
+        let x20 = curve[3].throughput;
+        assert!(x5 > 1.5 * x1, "MPL 5 should beat MPL 1 clearly: {x1} vs {x5}");
+        assert!(
+            (x20 - x5).abs() / x5 < 0.25,
+            "MPL 20 is near the plateau: {x5} vs {x20}"
+        );
+    }
+
+    #[test]
+    fn two_cpus_need_higher_mpl_and_give_more_throughput() {
+        let one = quick_driver(1).run(20, PolicyKind::Fifo, &ArrivalProcess::saturated(100));
+        let two = quick_driver(2).run(20, PolicyKind::Fifo, &ArrivalProcess::saturated(100));
+        assert!(
+            two.throughput > 1.4 * one.throughput,
+            "2 CPUs: {} vs {}",
+            two.throughput,
+            one.throughput
+        );
+    }
+
+    #[test]
+    fn priority_policy_differentiates() {
+        let d = quick_driver(1);
+        let r = d.run(3, PolicyKind::Priority, &d.saturated());
+        assert!(r.count_high > 0 && r.count_low > 0);
+        assert!(
+            r.rt_low > 3.0 * r.rt_high,
+            "low {} vs high {}",
+            r.rt_low,
+            r.rt_high
+        );
+    }
+
+    #[test]
+    fn find_mpl_for_loss_returns_feasible_boundary() {
+        let d = quick_driver(1);
+        let (mpl, reference) = d.find_mpl_for_loss(0.20);
+        assert!((1..100).contains(&mpl));
+        let at = d.run(mpl, PolicyKind::Fifo, &d.saturated()).throughput;
+        assert!(at >= 0.78 * reference.throughput, "{at} vs {}", reference.throughput);
+    }
+
+    #[test]
+    fn controller_converges_quickly() {
+        let d = quick_driver(1);
+        let out = d.run_controller(Targets::twenty_percent());
+        assert!(out.converged, "controller failed to converge: {out:?}");
+        assert!(out.iterations < 10, "paper bound: {} iterations", out.iterations);
+        assert!(out.final_mpl >= 1);
+    }
+
+    #[test]
+    fn open_system_response_time_flattens_with_mpl() {
+        // §3.2: open system, load 0.7 — response time insensitive to the
+        // MPL above a small threshold for TPC-C.
+        let d = quick_driver(1);
+        let capacity = d.reference().throughput;
+        let arr = ArrivalProcess::open(0.7 * capacity);
+        let r4 = d.run(4, PolicyKind::Fifo, &arr);
+        let r30 = d.run(30, PolicyKind::Fifo, &arr);
+        assert!(
+            r4.mean_rt < 2.0 * r30.mean_rt,
+            "TPC-C at load 0.7 barely cares about MPL>=4: {} vs {}",
+            r4.mean_rt,
+            r30.mean_rt
+        );
+    }
+
+    #[test]
+    fn weighted_fair_sits_between_fifo_and_strict_priority() {
+        let d = quick_driver(1);
+        let arr = d.saturated();
+        let fifo = d.run(3, PolicyKind::Fifo, &arr);
+        let wf = d.run(3, PolicyKind::WeightedFair, &arr);
+        let strict = d.run(3, PolicyKind::Priority, &arr);
+        // High-priority response time: strict < weighted-fair < FIFO.
+        assert!(strict.rt_high < wf.rt_high, "strict beats WF for high");
+        assert!(wf.rt_high < fifo.rt_high, "WF beats FIFO for high");
+        // And weighted-fair penalizes the low class less than strict.
+        assert!(wf.rt_low < strict.rt_low, "WF kinder to low than strict");
+    }
+
+    #[test]
+    fn paired_seeds_make_runs_reproducible() {
+        let d = quick_driver(1);
+        let a = d.run(5, PolicyKind::Fifo, &d.saturated());
+        let b = d.run(5, PolicyKind::Fifo, &d.saturated());
+        assert_eq!(a.throughput.to_bits(), b.throughput.to_bits());
+        assert_eq!(a.mean_rt.to_bits(), b.mean_rt.to_bits());
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! External transaction scheduling with an automatically tuned MPL.
+//!
+//! This crate is the paper's primary contribution (Schroeder et al., ICDE
+//! 2006): keep most transactions in an *external* queue the application
+//! controls, admit at most MPL of them into the DBMS, and tune that MPL to
+//! the lowest value that does not hurt throughput or overall mean response
+//! time.
+//!
+//! * [`policy`] — ordering disciplines for the external queue (FIFO,
+//!   two-class priority as in §5.1, and SJF extensions);
+//! * [`gate`] — the MPL counting gate, safe under live resizing;
+//! * [`scheduler`] — [`ExternalScheduler`], the queue + gate composition
+//!   every application-facing API goes through;
+//! * [`controller`] — the feedback controller of §4.3: observation windows
+//!   gated on sample count and confidence-interval width, ±1 reactions
+//!   with hysteresis, and a queueing-theoretic jump start
+//!   (`xsched-queueing`);
+//! * [`driver`] — the experiment driver marrying a workload generator, the
+//!   external scheduler and the simulated DBMS; implements every
+//!   experiment shape the paper reports (throughput curves, open-system
+//!   response times, priority differentiation, controller convergence).
+
+pub mod controller;
+pub mod driver;
+pub mod gate;
+pub mod policy;
+pub mod scheduler;
+
+pub use controller::{ControllerConfig, Decision, MplController, Reference, Targets};
+pub use driver::{ControllerOutcome, Driver, PolicyKind, PriorityOutcome, RunConfig, RunResult};
+pub use gate::MplGate;
+pub use policy::{Fifo, PriorityFifo, QueuePolicy, QueuedTxn, Sjf, WeightedFair};
+pub use scheduler::ExternalScheduler;

@@ -1,0 +1,153 @@
+//! The external scheduler: queue policy + MPL gate.
+//!
+//! This is the mechanism of Fig. 1: transactions enter the external queue,
+//! and whenever a slot is free the policy picks which one to dispatch into
+//! the DBMS. The scheduler is backend-agnostic — the driver wires it to
+//! the simulated DBMS, but nothing here depends on the simulator.
+
+use crate::gate::MplGate;
+use crate::policy::{QueuePolicy, QueuedTxn};
+
+/// External queue plus MPL gate.
+pub struct ExternalScheduler<P: QueuePolicy> {
+    policy: P,
+    gate: MplGate,
+}
+
+impl<P: QueuePolicy> ExternalScheduler<P> {
+    /// A scheduler with the given policy and initial MPL.
+    pub fn new(policy: P, mpl: u32) -> ExternalScheduler<P> {
+        ExternalScheduler {
+            policy,
+            gate: MplGate::new(mpl),
+        }
+    }
+
+    /// Add a transaction to the external queue.
+    pub fn enqueue(&mut self, txn: QueuedTxn) {
+        self.policy.push(txn);
+    }
+
+    /// If a slot is free and the queue is nonempty, take the next
+    /// transaction to admit (the slot is acquired on return).
+    pub fn dispatch(&mut self) -> Option<QueuedTxn> {
+        if self.policy.is_empty() || self.gate.available() == 0 {
+            return None;
+        }
+        let txn = self.policy.pop()?;
+        let ok = self.gate.try_acquire();
+        debug_assert!(ok);
+        Some(txn)
+    }
+
+    /// Record a completion, freeing one slot.
+    pub fn complete(&mut self) {
+        self.gate.release();
+    }
+
+    /// Change the MPL (takes effect on future dispatches).
+    pub fn set_mpl(&mut self, mpl: u32) {
+        self.gate.set_mpl(mpl);
+    }
+
+    /// Current MPL.
+    pub fn mpl(&self) -> u32 {
+        self.gate.mpl()
+    }
+
+    /// Transactions inside the DBMS.
+    pub fn in_flight(&self) -> u32 {
+        self.gate.in_flight()
+    }
+
+    /// Transactions waiting externally.
+    pub fn queue_len(&self) -> usize {
+        self.policy.len()
+    }
+
+    /// Borrow the policy (e.g. to inspect class queue lengths).
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Fifo, PriorityFifo};
+    use xsched_dbms::txn::{Priority, Step, TxnBody};
+
+    fn txn(priority: Priority, arrival: f64) -> QueuedTxn {
+        QueuedTxn {
+            body: TxnBody {
+                txn_type: 0,
+                priority,
+                steps: vec![Step::compute(0.001)],
+            },
+            arrival,
+        }
+    }
+
+    #[test]
+    fn dispatch_respects_mpl() {
+        let mut s = ExternalScheduler::new(Fifo::new(), 2);
+        for i in 0..5 {
+            s.enqueue(txn(Priority::Low, i as f64));
+        }
+        assert!(s.dispatch().is_some());
+        assert!(s.dispatch().is_some());
+        assert!(s.dispatch().is_none(), "MPL reached");
+        assert_eq!(s.in_flight(), 2);
+        assert_eq!(s.queue_len(), 3);
+        s.complete();
+        assert!(s.dispatch().is_some());
+    }
+
+    #[test]
+    fn never_exceeds_mpl_under_churn() {
+        let mut s = ExternalScheduler::new(Fifo::new(), 3);
+        let mut max_seen = 0;
+        for round in 0..100 {
+            s.enqueue(txn(Priority::Low, round as f64));
+            while s.dispatch().is_some() {}
+            max_seen = max_seen.max(s.in_flight());
+            if round % 2 == 0 && s.in_flight() > 0 {
+                s.complete();
+            }
+        }
+        assert!(max_seen <= 3, "in_flight peaked at {max_seen}");
+    }
+
+    #[test]
+    fn priority_policy_dispatches_high_first() {
+        let mut s = ExternalScheduler::new(PriorityFifo::new(), 1);
+        s.enqueue(txn(Priority::Low, 0.0));
+        s.enqueue(txn(Priority::High, 1.0));
+        let first = s.dispatch().unwrap();
+        assert_eq!(first.body.priority, Priority::High);
+    }
+
+    #[test]
+    fn mpl_resize_mid_run() {
+        let mut s = ExternalScheduler::new(Fifo::new(), 4);
+        for i in 0..10 {
+            s.enqueue(txn(Priority::Low, i as f64));
+        }
+        while s.dispatch().is_some() {}
+        assert_eq!(s.in_flight(), 4);
+        s.set_mpl(2);
+        s.complete();
+        s.complete();
+        assert!(s.dispatch().is_none(), "still at the lowered limit");
+        s.complete();
+        assert!(s.dispatch().is_some());
+        assert_eq!(s.mpl(), 2);
+    }
+
+    #[test]
+    fn empty_queue_dispatches_none() {
+        let mut s = ExternalScheduler::new(Fifo::new(), 8);
+        assert!(s.dispatch().is_none());
+        assert_eq!(s.in_flight(), 0);
+    }
+}

@@ -1,0 +1,266 @@
+//! LRU buffer pool.
+//!
+//! The pool decides which page accesses are memory hits (CPU-only cost)
+//! and which become disk reads. Capacity in pages vs. the workload's
+//! database size reproduces the paper's memory-pressure dimension (Table 1
+//! varies the buffer pool between 100 MB and 3 GB to turn the same
+//! benchmark into a CPU-bound or an I/O-bound workload).
+//!
+//! Implementation: intrusive doubly-linked LRU list over a `HashMap`,
+//! O(1) probe and insert — the standard design, sized for tens of millions
+//! of probes per experiment.
+
+use crate::txn::PageId;
+use std::collections::HashMap;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    page: PageId,
+    prev: u32,
+    next: u32,
+}
+
+/// A fixed-capacity LRU cache of pages.
+#[derive(Debug)]
+pub struct BufferPool {
+    capacity: usize,
+    map: HashMap<PageId, u32>,
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    head: u32, // most recently used
+    tail: u32, // least recently used
+    hits: u64,
+    misses: u64,
+}
+
+impl BufferPool {
+    /// A pool holding at most `capacity` pages (`capacity ≥ 1`).
+    pub fn new(capacity: u64) -> BufferPool {
+        let capacity = capacity.max(1) as usize;
+        BufferPool {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1 << 22)),
+            nodes: Vec::with_capacity(capacity.min(1 << 22)),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Probe for `page`. On a hit the page is moved to the MRU position
+    /// and `true` is returned; on a miss `false` is returned and the caller
+    /// is expected to perform the disk read and then [`BufferPool::insert`]
+    /// the page.
+    pub fn probe(&mut self, page: PageId) -> bool {
+        if let Some(&idx) = self.map.get(&page) {
+            self.hits += 1;
+            self.move_to_front(idx);
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Insert `page` at the MRU position, evicting the LRU page if full.
+    /// Returns the evicted page, if any. Inserting a resident page just
+    /// refreshes its position.
+    pub fn insert(&mut self, page: PageId) -> Option<PageId> {
+        if let Some(&idx) = self.map.get(&page) {
+            self.move_to_front(idx);
+            return None;
+        }
+        let evicted = if self.map.len() >= self.capacity {
+            let tail = self.tail;
+            debug_assert_ne!(tail, NIL);
+            let victim = self.nodes[tail as usize].page;
+            self.unlink(tail);
+            self.map.remove(&victim);
+            self.free.push(tail);
+            Some(victim)
+        } else {
+            None
+        };
+        let idx = if let Some(idx) = self.free.pop() {
+            self.nodes[idx as usize] = Node {
+                page,
+                prev: NIL,
+                next: NIL,
+            };
+            idx
+        } else {
+            self.nodes.push(Node {
+                page,
+                prev: NIL,
+                next: NIL,
+            });
+            (self.nodes.len() - 1) as u32
+        };
+        self.map.insert(page, idx);
+        self.push_front(idx);
+        evicted
+    }
+
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next) = {
+            let n = &self.nodes[idx as usize];
+            (n.prev, n.next)
+        };
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.nodes[idx as usize].prev = NIL;
+        self.nodes[idx as usize].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: u32) {
+        self.nodes[idx as usize].prev = NIL;
+        self.nodes[idx as usize].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head as usize].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn move_to_front(&mut self, idx: u32) {
+        if self.head == idx {
+            return;
+        }
+        self.unlink(idx);
+        self.push_front(idx);
+    }
+
+    /// Number of resident pages.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no pages are resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Hit count so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit ratio so far (0 when unprobed).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(n: u64) -> PageId {
+        PageId(n)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut bp = BufferPool::new(10);
+        assert!(!bp.probe(p(1)));
+        bp.insert(p(1));
+        assert!(bp.probe(p(1)));
+        assert_eq!(bp.hits(), 1);
+        assert_eq!(bp.misses(), 1);
+        assert!((bp.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut bp = BufferPool::new(3);
+        bp.insert(p(1));
+        bp.insert(p(2));
+        bp.insert(p(3));
+        // Touch 1 so 2 becomes LRU.
+        assert!(bp.probe(p(1)));
+        let evicted = bp.insert(p(4));
+        assert_eq!(evicted, Some(p(2)));
+        assert!(bp.probe(p(1)));
+        assert!(!bp.probe(p(2)));
+        assert!(bp.probe(p(3)));
+        assert!(bp.probe(p(4)));
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut bp = BufferPool::new(5);
+        for i in 0..100 {
+            bp.insert(p(i));
+            assert!(bp.len() <= 5);
+        }
+        assert_eq!(bp.len(), 5);
+        // The five most recent pages are resident.
+        for i in 95..100 {
+            assert!(bp.probe(p(i)), "page {i} missing");
+        }
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_eviction() {
+        let mut bp = BufferPool::new(2);
+        bp.insert(p(1));
+        bp.insert(p(2));
+        assert_eq!(bp.insert(p(1)), None); // refresh, no eviction
+        assert_eq!(bp.insert(p(3)), Some(p(2))); // 2 was LRU after refresh
+    }
+
+    #[test]
+    fn working_set_within_capacity_hits_forever() {
+        let mut bp = BufferPool::new(64);
+        // Warm up.
+        for i in 0..64 {
+            bp.probe(p(i));
+            bp.insert(p(i));
+        }
+        let misses_before = bp.misses();
+        for round in 0..10 {
+            for i in 0..64 {
+                assert!(bp.probe(p(i)), "round {round} page {i}");
+            }
+        }
+        assert_eq!(bp.misses(), misses_before);
+    }
+
+    #[test]
+    fn capacity_one() {
+        let mut bp = BufferPool::new(1);
+        bp.insert(p(1));
+        assert_eq!(bp.insert(p(2)), Some(p(1)));
+        assert!(bp.probe(p(2)));
+        assert!(!bp.probe(p(1)));
+    }
+}

@@ -1,0 +1,336 @@
+//! Processor-sharing CPU bank.
+//!
+//! `c` CPUs serve `n` runnable transactions: each job receives service rate
+//! `min(1, c/n)` (a single job cannot run on two CPUs at once — the second
+//! of the paper's two deliberate model pessimisms). Under
+//! [`CpuPolicy::PrioritizeHigh`] the high-priority jobs are served first:
+//! with `h` high jobs each gets `min(1, c/h)`, and low jobs share whatever
+//! capacity remains — a preemptive-priority generalization of PS modelling
+//! the paper's `renice` experiment.
+//!
+//! Because remaining work drains at a state-dependent rate, completion
+//! events cannot be scheduled once and forgotten. The bank keeps an epoch
+//! counter: every membership change bumps the epoch and re-schedules the
+//! next completion; stale events are recognized and dropped by the caller
+//! via [`CpuBank::is_current`].
+
+use crate::config::CpuPolicy;
+use crate::txn::{Priority, TxnId};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+struct CpuJob {
+    remaining: f64,
+    priority: Priority,
+}
+
+/// The shared CPU bank.
+#[derive(Debug)]
+pub struct CpuBank {
+    cpus: f64,
+    policy: CpuPolicy,
+    jobs: HashMap<TxnId, CpuJob>,
+    last_sync: f64,
+    epoch: u64,
+    /// Integral of busy capacity (0..=cpus) over time, for utilization.
+    busy_area: f64,
+}
+
+impl CpuBank {
+    /// A bank of `cpus` processors under the given policy.
+    pub fn new(cpus: u32, policy: CpuPolicy) -> CpuBank {
+        assert!(cpus >= 1);
+        CpuBank {
+            cpus: cpus as f64,
+            policy,
+            jobs: HashMap::new(),
+            last_sync: 0.0,
+            epoch: 0,
+            busy_area: 0.0,
+        }
+    }
+
+    /// Number of runnable jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True if no job is runnable.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Current epoch; completion events carry the epoch they were
+    /// scheduled under.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// True if `epoch` matches the bank's current epoch (the event is not
+    /// stale).
+    pub fn is_current(&self, epoch: u64) -> bool {
+        self.epoch == epoch
+    }
+
+    /// Service rate currently granted to a job of class `prio`.
+    fn rate_for(&self, prio: Priority) -> f64 {
+        let n = self.jobs.len() as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        match self.policy {
+            CpuPolicy::Fair => (self.cpus / n).min(1.0),
+            CpuPolicy::PrioritizeHigh => {
+                let h = self
+                    .jobs
+                    .values()
+                    .filter(|j| j.priority == Priority::High)
+                    .count() as f64;
+                let high_rate = if h > 0.0 { (self.cpus / h).min(1.0) } else { 0.0 };
+                match prio {
+                    Priority::High => high_rate,
+                    Priority::Low => {
+                        let leftover = (self.cpus - h * high_rate).max(0.0);
+                        let l = n - h;
+                        if l > 0.0 {
+                            (leftover / l).min(1.0)
+                        } else {
+                            0.0
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Advance all remaining-work counters to time `now` (seconds).
+    fn sync(&mut self, now: f64) {
+        let dt = now - self.last_sync;
+        debug_assert!(dt >= -1e-9, "time went backwards in CpuBank");
+        if dt > 0.0 {
+            let mut busy = 0.0;
+            // Precompute class rates once; they're uniform within a class.
+            let rate_high = self.rate_for(Priority::High);
+            let rate_low = self.rate_for(Priority::Low);
+            for job in self.jobs.values_mut() {
+                let r = match job.priority {
+                    Priority::High => rate_high,
+                    Priority::Low => rate_low,
+                };
+                job.remaining = (job.remaining - r * dt).max(0.0);
+                busy += r;
+            }
+            self.busy_area += busy.min(self.cpus) * dt;
+        }
+        self.last_sync = now;
+    }
+
+    /// Add `work` seconds of CPU demand for `txn` at time `now`. Returns
+    /// the new epoch.
+    pub fn add(&mut self, now: f64, txn: TxnId, work: f64, priority: Priority) -> u64 {
+        self.sync(now);
+        let prev = self.jobs.insert(
+            txn,
+            CpuJob {
+                remaining: work.max(0.0),
+                priority,
+            },
+        );
+        debug_assert!(prev.is_none(), "txn {txn:?} already on CPU");
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// Remove a job regardless of progress (abort path). Returns the new
+    /// epoch if the job was present.
+    pub fn remove(&mut self, now: f64, txn: TxnId) -> Option<u64> {
+        self.sync(now);
+        if self.jobs.remove(&txn).is_some() {
+            self.epoch += 1;
+            Some(self.epoch)
+        } else {
+            None
+        }
+    }
+
+    /// Time until the next job completes at current rates, and that job's
+    /// id. `None` if the bank is idle (or all runnable jobs are starved,
+    /// which cannot happen with `cpus ≥ 1`).
+    pub fn next_completion(&mut self, now: f64) -> Option<(f64, TxnId)> {
+        self.sync(now);
+        let rate_high = self.rate_for(Priority::High);
+        let rate_low = self.rate_for(Priority::Low);
+        let mut best: Option<(f64, TxnId)> = None;
+        for (id, job) in &self.jobs {
+            let r = match job.priority {
+                Priority::High => rate_high,
+                Priority::Low => rate_low,
+            };
+            if r <= 0.0 {
+                continue;
+            }
+            let t = job.remaining / r;
+            // Deterministic tie-break on TxnId.
+            let better = match best {
+                None => true,
+                Some((bt, bid)) => t < bt - 1e-15 || ((t - bt).abs() <= 1e-15 && *id < bid),
+            };
+            if better {
+                best = Some((t, *id));
+            }
+        }
+        best
+    }
+
+    /// Complete and remove the given job at `now`; asserts it had (almost)
+    /// no work left. Returns the new epoch.
+    pub fn complete(&mut self, now: f64, txn: TxnId) -> u64 {
+        self.sync(now);
+        let job = self.jobs.remove(&txn).expect("completing unknown CPU job");
+        debug_assert!(
+            job.remaining < 1e-6,
+            "completed job had {} s left",
+            job.remaining
+        );
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// CPU-seconds of capacity consumed so far (for utilization:
+    /// `busy_time / (cpus · elapsed)`).
+    pub fn busy_time(&mut self, now: f64) -> f64 {
+        self.sync(now);
+        self.busy_area
+    }
+
+    /// Total capacity of the bank (number of CPUs).
+    pub fn capacity(&self) -> f64 {
+        self.cpus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u64) -> TxnId {
+        TxnId(n)
+    }
+
+    #[test]
+    fn single_job_runs_at_full_speed() {
+        let mut bank = CpuBank::new(1, CpuPolicy::Fair);
+        bank.add(0.0, id(1), 2.0, Priority::Low);
+        let (t, who) = bank.next_completion(0.0).unwrap();
+        assert_eq!(who, id(1));
+        assert!((t - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_jobs_share_one_cpu() {
+        let mut bank = CpuBank::new(1, CpuPolicy::Fair);
+        bank.add(0.0, id(1), 1.0, Priority::Low);
+        bank.add(0.0, id(2), 1.0, Priority::Low);
+        let (t, _) = bank.next_completion(0.0).unwrap();
+        assert!((t - 2.0).abs() < 1e-12, "each runs at rate 1/2: {t}");
+    }
+
+    #[test]
+    fn two_jobs_two_cpus_run_at_full_speed() {
+        let mut bank = CpuBank::new(2, CpuPolicy::Fair);
+        bank.add(0.0, id(1), 1.0, Priority::Low);
+        bank.add(0.0, id(2), 3.0, Priority::Low);
+        let (t, who) = bank.next_completion(0.0).unwrap();
+        assert_eq!(who, id(1));
+        assert!((t - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_job_cannot_use_two_cpus() {
+        let mut bank = CpuBank::new(2, CpuPolicy::Fair);
+        bank.add(0.0, id(1), 1.0, Priority::Low);
+        let (t, _) = bank.next_completion(0.0).unwrap();
+        assert!((t - 1.0).abs() < 1e-12, "rate capped at 1: {t}");
+    }
+
+    #[test]
+    fn progress_is_tracked_across_membership_changes() {
+        let mut bank = CpuBank::new(1, CpuPolicy::Fair);
+        bank.add(0.0, id(1), 1.0, Priority::Low);
+        // At t=0.5, half done; a second job arrives.
+        bank.add(0.5, id(2), 1.0, Priority::Low);
+        // Job 1 has 0.5 left at rate 0.5 → completes at t=1.5.
+        let (t, who) = bank.next_completion(0.5).unwrap();
+        assert_eq!(who, id(1));
+        assert!((t - 1.0).abs() < 1e-12, "dt until completion {t}");
+        bank.complete(1.5, id(1));
+        // Job 2: consumed 0.5 while sharing; 0.5 left at full rate.
+        let (t2, who2) = bank.next_completion(1.5).unwrap();
+        assert_eq!(who2, id(2));
+        assert!((t2 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn priority_mode_starves_low_when_saturated() {
+        let mut bank = CpuBank::new(1, CpuPolicy::PrioritizeHigh);
+        bank.add(0.0, id(1), 1.0, Priority::High);
+        bank.add(0.0, id(2), 1.0, Priority::Low);
+        // High runs at 1, low at 0 → next completion is high at t=1.
+        let (t, who) = bank.next_completion(0.0).unwrap();
+        assert_eq!(who, id(1));
+        assert!((t - 1.0).abs() < 1e-12);
+        bank.complete(1.0, id(1));
+        // Low job made no progress; now runs alone.
+        let (t2, _) = bank.next_completion(1.0).unwrap();
+        assert!((t2 - 1.0).abs() < 1e-12, "low made progress while starved");
+    }
+
+    #[test]
+    fn priority_mode_shares_leftover_with_low() {
+        let mut bank = CpuBank::new(2, CpuPolicy::PrioritizeHigh);
+        bank.add(0.0, id(1), 1.0, Priority::High);
+        bank.add(0.0, id(2), 1.0, Priority::Low);
+        bank.add(0.0, id(3), 1.0, Priority::Low);
+        // High gets rate 1; the second CPU is split between the two lows.
+        let (t, who) = bank.next_completion(0.0).unwrap();
+        assert_eq!(who, id(1));
+        assert!((t - 1.0).abs() < 1e-12);
+        bank.complete(1.0, id(1));
+        // Lows each did 0.5 of work; now share 2 CPUs at rate 1 each.
+        let (t2, _) = bank.next_completion(1.0).unwrap();
+        assert!((t2 - 0.5).abs() < 1e-12, "t2 {t2}");
+    }
+
+    #[test]
+    fn epochs_invalidate_on_change() {
+        let mut bank = CpuBank::new(1, CpuPolicy::Fair);
+        let e1 = bank.add(0.0, id(1), 1.0, Priority::Low);
+        assert!(bank.is_current(e1));
+        let e2 = bank.add(0.1, id(2), 1.0, Priority::Low);
+        assert!(!bank.is_current(e1));
+        assert!(bank.is_current(e2));
+    }
+
+    #[test]
+    fn remove_mid_flight() {
+        let mut bank = CpuBank::new(1, CpuPolicy::Fair);
+        bank.add(0.0, id(1), 1.0, Priority::Low);
+        bank.add(0.0, id(2), 1.0, Priority::Low);
+        assert!(bank.remove(0.5, id(1)).is_some());
+        assert!(bank.remove(0.5, id(1)).is_none());
+        // Job 2 did 0.25 of work sharing; 0.75 left at full speed.
+        let (t, _) = bank.next_completion(0.5).unwrap();
+        assert!((t - 0.75).abs() < 1e-12, "t {t}");
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut bank = CpuBank::new(2, CpuPolicy::Fair);
+        bank.add(0.0, id(1), 1.0, Priority::Low);
+        bank.complete(1.0, id(1));
+        // One CPU busy for 1s out of 2 CPUs × 2s.
+        let busy = bank.busy_time(2.0);
+        assert!((busy - 1.0).abs() < 1e-12);
+        assert_eq!(bank.capacity(), 2.0);
+    }
+}

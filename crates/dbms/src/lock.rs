@@ -1,0 +1,572 @@
+//! Strict two-phase-locking lock manager.
+//!
+//! Shared/exclusive item locks with FIFO wait queues, in-place upgrades,
+//! waits-for deadlock detection with youngest-victim selection, and the two
+//! internal prioritization policies of §5.2:
+//!
+//! * [`LockPriorityPolicy::PriorityQueue`] — high-priority requests queue
+//!   ahead of (and may bypass) waiting low-priority requests;
+//! * [`LockPriorityPolicy::PreemptOnWait`] (POW, McWherter et al. 2005) —
+//!   additionally, a blocked high-priority request preempts low-priority
+//!   lock *holders* that are themselves waiting at another lock queue.
+//!
+//! The manager provides mechanisms only (request / release / abort /
+//! victim selection); `crate::sim` sequences them, so the same machinery
+//! serves plain 2PL and both internal prioritization modes.
+
+use crate::config::LockPriorityPolicy;
+use crate::txn::{ItemId, LockMode, Priority, TxnId};
+use std::collections::{HashMap, VecDeque};
+
+/// Result of a lock request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestOutcome {
+    /// The lock was granted (or was already held in a sufficient mode).
+    Granted,
+    /// The request was enqueued; the transaction must wait.
+    Blocked,
+}
+
+/// A waiter that just received its lock during a release/abort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grant {
+    /// The transaction whose request was granted.
+    pub txn: TxnId,
+    /// The item it was waiting for.
+    pub item: ItemId,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Waiter {
+    txn: TxnId,
+    mode: LockMode,
+    priority: Priority,
+    /// True if the waiter already holds the lock in `Shared` mode and is
+    /// waiting to upgrade to `Exclusive`.
+    upgrade: bool,
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    holders: Vec<(TxnId, LockMode)>,
+    queue: VecDeque<Waiter>,
+}
+
+impl LockState {
+    fn holds(&self, txn: TxnId) -> Option<LockMode> {
+        self.holders.iter().find(|(t, _)| *t == txn).map(|(_, m)| *m)
+    }
+
+    fn compatible_with_holders(&self, txn: TxnId, mode: LockMode) -> bool {
+        self.holders
+            .iter()
+            .all(|(t, m)| *t == txn || mode.compatible_with(*m))
+    }
+}
+
+/// The lock manager.
+#[derive(Debug)]
+pub struct LockManager {
+    policy: LockPriorityPolicy,
+    table: HashMap<ItemId, LockState>,
+    /// Items currently held (in any mode) per transaction.
+    held: HashMap<TxnId, Vec<ItemId>>,
+    /// The single item each blocked transaction waits for.
+    waiting: HashMap<TxnId, ItemId>,
+    grants: u64,
+    blocks: u64,
+}
+
+impl LockManager {
+    /// An empty lock table under the given priority policy.
+    pub fn new(policy: LockPriorityPolicy) -> LockManager {
+        LockManager {
+            policy,
+            table: HashMap::new(),
+            held: HashMap::new(),
+            waiting: HashMap::new(),
+            grants: 0,
+            blocks: 0,
+        }
+    }
+
+    /// The active priority policy.
+    pub fn policy(&self) -> LockPriorityPolicy {
+        self.policy
+    }
+
+    /// Request `item` in `mode` for `txn`. On [`RequestOutcome::Blocked`]
+    /// the transaction is enqueued and must not proceed until a
+    /// [`Grant`] names it.
+    pub fn request(
+        &mut self,
+        txn: TxnId,
+        priority: Priority,
+        item: ItemId,
+        mode: LockMode,
+    ) -> RequestOutcome {
+        debug_assert!(
+            !self.waiting.contains_key(&txn),
+            "txn {txn:?} requested a lock while already waiting"
+        );
+        let state = self.table.entry(item).or_default();
+
+        if let Some(held_mode) = state.holds(txn) {
+            match (held_mode, mode) {
+                // Already sufficient.
+                (LockMode::Exclusive, _) | (LockMode::Shared, LockMode::Shared) => {
+                    self.grants += 1;
+                    return RequestOutcome::Granted;
+                }
+                // Upgrade S → X.
+                (LockMode::Shared, LockMode::Exclusive) => {
+                    if state.holders.len() == 1 {
+                        state.holders[0].1 = LockMode::Exclusive;
+                        self.grants += 1;
+                        return RequestOutcome::Granted;
+                    }
+                    // Upgrades wait at the very front: they cannot be
+                    // granted until the co-holders release, and nothing
+                    // behind them may be granted first.
+                    state.queue.push_front(Waiter {
+                        txn,
+                        mode,
+                        priority,
+                        upgrade: true,
+                    });
+                    self.waiting.insert(txn, item);
+                    self.blocks += 1;
+                    return RequestOutcome::Blocked;
+                }
+            }
+        }
+
+        let bypass_ok = match self.policy {
+            LockPriorityPolicy::None => state.queue.is_empty(),
+            // A high-priority request may overtake low-priority waiters.
+            _ => {
+                state.queue.is_empty()
+                    || (priority == Priority::High
+                        && state.queue.iter().all(|w| w.priority == Priority::Low))
+            }
+        };
+        if bypass_ok && state.compatible_with_holders(txn, mode) {
+            state.holders.push((txn, mode));
+            self.held.entry(txn).or_default().push(item);
+            self.grants += 1;
+            return RequestOutcome::Granted;
+        }
+
+        // Enqueue according to policy.
+        let waiter = Waiter {
+            txn,
+            mode,
+            priority,
+            upgrade: false,
+        };
+        match self.policy {
+            LockPriorityPolicy::None => state.queue.push_back(waiter),
+            LockPriorityPolicy::PriorityQueue | LockPriorityPolicy::PreemptOnWait => {
+                if priority == Priority::High {
+                    // Behind other high-priority waiters and any upgrade,
+                    // ahead of low-priority waiters.
+                    let pos = state
+                        .queue
+                        .iter()
+                        .position(|w| w.priority == Priority::Low && !w.upgrade)
+                        .unwrap_or(state.queue.len());
+                    state.queue.insert(pos, waiter);
+                } else {
+                    state.queue.push_back(waiter);
+                }
+            }
+        }
+        self.waiting.insert(txn, item);
+        self.blocks += 1;
+        RequestOutcome::Blocked
+    }
+
+    /// Release every lock held by `txn` (commit path) and promote waiters.
+    pub fn release_all(&mut self, txn: TxnId) -> Vec<Grant> {
+        debug_assert!(
+            !self.waiting.contains_key(&txn),
+            "committing txn {txn:?} cannot be waiting"
+        );
+        let items = self.held.remove(&txn).unwrap_or_default();
+        let mut grants = Vec::new();
+        for item in items {
+            if let Some(state) = self.table.get_mut(&item) {
+                state.holders.retain(|(t, _)| *t != txn);
+                Self::promote(&mut self.waiting, &mut self.held, state, item, &mut grants);
+                if state.holders.is_empty() && state.queue.is_empty() {
+                    self.table.remove(&item);
+                }
+            }
+        }
+        self.grants += grants.len() as u64;
+        grants
+    }
+
+    /// Abort path: remove `txn` from any wait queue and release all its
+    /// locks. Returns the waiters that became grantable.
+    pub fn abort(&mut self, txn: TxnId) -> Vec<Grant> {
+        let mut grants = Vec::new();
+        if let Some(item) = self.waiting.remove(&txn) {
+            if let Some(state) = self.table.get_mut(&item) {
+                state.queue.retain(|w| w.txn != txn);
+                // Removing a queued X may unblock compatible waiters behind it.
+                Self::promote(&mut self.waiting, &mut self.held, state, item, &mut grants);
+            }
+        }
+        let items = self.held.remove(&txn).unwrap_or_default();
+        for item in items {
+            if let Some(state) = self.table.get_mut(&item) {
+                state.holders.retain(|(t, _)| *t != txn);
+                Self::promote(&mut self.waiting, &mut self.held, state, item, &mut grants);
+                if state.holders.is_empty() && state.queue.is_empty() {
+                    self.table.remove(&item);
+                }
+            }
+        }
+        self.grants += grants.len() as u64;
+        grants
+    }
+
+    /// Grant queue heads while possible (static method to appease the
+    /// borrow checker when called with `table` already borrowed).
+    fn promote(
+        waiting: &mut HashMap<TxnId, ItemId>,
+        held: &mut HashMap<TxnId, Vec<ItemId>>,
+        state: &mut LockState,
+        item: ItemId,
+        grants: &mut Vec<Grant>,
+    ) {
+        while let Some(head) = state.queue.front().copied() {
+            let grantable = if head.upgrade {
+                // Upgrade requires being the sole holder.
+                state.holders.len() == 1 && state.holders[0].0 == head.txn
+            } else {
+                state.compatible_with_holders(head.txn, head.mode)
+            };
+            if !grantable {
+                break;
+            }
+            state.queue.pop_front();
+            if head.upgrade {
+                state.holders[0].1 = LockMode::Exclusive;
+            } else {
+                state.holders.push((head.txn, head.mode));
+                held.entry(head.txn).or_default().push(item);
+            }
+            waiting.remove(&head.txn);
+            grants.push(Grant {
+                txn: head.txn,
+                item,
+            });
+        }
+    }
+
+    /// The item `txn` is blocked on, if any.
+    pub fn waiting_for(&self, txn: TxnId) -> Option<ItemId> {
+        self.waiting.get(&txn).copied()
+    }
+
+    /// Items currently held by `txn`.
+    pub fn held_items(&self, txn: TxnId) -> &[ItemId] {
+        self.held.get(&txn).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Transactions blocking `txn`: the holders of the item it waits for,
+    /// plus waiters queued ahead of it (they will hold the lock before
+    /// `txn` can).
+    pub fn blockers_of(&self, txn: TxnId) -> Vec<TxnId> {
+        let Some(item) = self.waiting.get(&txn) else {
+            return Vec::new();
+        };
+        let Some(state) = self.table.get(item) else {
+            return Vec::new();
+        };
+        let mut out: Vec<TxnId> = state
+            .holders
+            .iter()
+            .map(|(t, _)| *t)
+            .filter(|t| *t != txn)
+            .collect();
+        for w in &state.queue {
+            if w.txn == txn {
+                break;
+            }
+            out.push(w.txn);
+        }
+        out
+    }
+
+    /// Detect a deadlock cycle reachable from `txn` (which must be
+    /// blocked) and pick the youngest member (largest [`TxnId`]) as victim.
+    pub fn find_deadlock_victim(&self, txn: TxnId) -> Option<TxnId> {
+        // Iterative DFS over the waits-for graph; a cycle exists iff `txn`
+        // is reachable from one of its blockers.
+        let mut stack: Vec<(TxnId, Vec<TxnId>)> = vec![(txn, vec![txn])];
+        let mut visited: Vec<TxnId> = Vec::new();
+        while let Some((node, path)) = stack.pop() {
+            for b in self.blockers_of(node) {
+                if b == txn {
+                    // `path` plus the closing edge is the cycle.
+                    return path.iter().max().copied();
+                }
+                if !visited.contains(&b) {
+                    visited.push(b);
+                    let mut p = path.clone();
+                    p.push(b);
+                    stack.push((b, p));
+                }
+            }
+        }
+        None
+    }
+
+    /// POW: low-priority holders of `item` that are themselves blocked at
+    /// some other lock queue — the victims a blocked high-priority request
+    /// is entitled to preempt.
+    pub fn pow_victims(&self, item: ItemId, priorities: &HashMap<TxnId, Priority>) -> Vec<TxnId> {
+        let Some(state) = self.table.get(&item) else {
+            return Vec::new();
+        };
+        state
+            .holders
+            .iter()
+            .map(|(t, _)| *t)
+            .filter(|t| {
+                priorities.get(t).copied() == Some(Priority::Low)
+                    && self.waiting.contains_key(t)
+            })
+            .collect()
+    }
+
+    /// Total granted requests.
+    pub fn grant_count(&self) -> u64 {
+        self.grants
+    }
+
+    /// Total requests that had to wait.
+    pub fn block_count(&self) -> u64 {
+        self.blocks
+    }
+
+    /// Number of transactions currently blocked.
+    pub fn waiting_count(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Consistency check used by tests and debug assertions: at most one
+    /// exclusive holder per item, and no shared/exclusive mixing.
+    pub fn check_invariants(&self) {
+        for (item, state) in &self.table {
+            let x_holders = state
+                .holders
+                .iter()
+                .filter(|(_, m)| *m == LockMode::Exclusive)
+                .count();
+            if x_holders > 0 {
+                assert_eq!(
+                    state.holders.len(),
+                    1,
+                    "item {item:?}: exclusive lock shared"
+                );
+            }
+            for w in &state.queue {
+                assert!(
+                    self.waiting.get(&w.txn) == Some(item),
+                    "queued txn {:?} missing from waiting map",
+                    w.txn
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> TxnId {
+        TxnId(n)
+    }
+    fn i(n: u64) -> ItemId {
+        ItemId(n)
+    }
+    const LO: Priority = Priority::Low;
+    const HI: Priority = Priority::High;
+
+    #[test]
+    fn shared_locks_coexist() {
+        let mut lm = LockManager::new(LockPriorityPolicy::None);
+        assert_eq!(lm.request(t(1), LO, i(1), LockMode::Shared), RequestOutcome::Granted);
+        assert_eq!(lm.request(t(2), LO, i(1), LockMode::Shared), RequestOutcome::Granted);
+        lm.check_invariants();
+    }
+
+    #[test]
+    fn exclusive_blocks_everyone() {
+        let mut lm = LockManager::new(LockPriorityPolicy::None);
+        assert_eq!(lm.request(t(1), LO, i(1), LockMode::Exclusive), RequestOutcome::Granted);
+        assert_eq!(lm.request(t(2), LO, i(1), LockMode::Shared), RequestOutcome::Blocked);
+        assert_eq!(lm.request(t(3), LO, i(1), LockMode::Exclusive), RequestOutcome::Blocked);
+        assert_eq!(lm.waiting_count(), 2);
+        lm.check_invariants();
+        let grants = lm.release_all(t(1));
+        // FIFO: t2 (shared) is granted; t3 (exclusive) still waits.
+        assert_eq!(grants, vec![Grant { txn: t(2), item: i(1) }]);
+        let grants = lm.release_all(t(2));
+        assert_eq!(grants, vec![Grant { txn: t(3), item: i(1) }]);
+        lm.check_invariants();
+    }
+
+    #[test]
+    fn batched_shared_grants_on_release() {
+        let mut lm = LockManager::new(LockPriorityPolicy::None);
+        let _ = lm.request(t(1), LO, i(1), LockMode::Exclusive);
+        let _ = lm.request(t(2), LO, i(1), LockMode::Shared);
+        let _ = lm.request(t(3), LO, i(1), LockMode::Shared);
+        let grants = lm.release_all(t(1));
+        assert_eq!(grants.len(), 2, "both shared waiters granted together");
+    }
+
+    #[test]
+    fn fifo_prevents_shared_overtaking_exclusive() {
+        let mut lm = LockManager::new(LockPriorityPolicy::None);
+        let _ = lm.request(t(1), LO, i(1), LockMode::Shared);
+        let _ = lm.request(t(2), LO, i(1), LockMode::Exclusive); // waits
+        // A later shared request must not leapfrog the queued X.
+        assert_eq!(lm.request(t(3), LO, i(1), LockMode::Shared), RequestOutcome::Blocked);
+        lm.check_invariants();
+    }
+
+    #[test]
+    fn reentrant_and_upgrade() {
+        let mut lm = LockManager::new(LockPriorityPolicy::None);
+        let _ = lm.request(t(1), LO, i(1), LockMode::Shared);
+        // Re-request in same mode: no-op grant.
+        assert_eq!(lm.request(t(1), LO, i(1), LockMode::Shared), RequestOutcome::Granted);
+        // Sole holder upgrades in place.
+        assert_eq!(lm.request(t(1), LO, i(1), LockMode::Exclusive), RequestOutcome::Granted);
+        // X holder re-requesting S is a no-op.
+        assert_eq!(lm.request(t(1), LO, i(1), LockMode::Shared), RequestOutcome::Granted);
+        lm.check_invariants();
+    }
+
+    #[test]
+    fn contended_upgrade_waits_then_wins() {
+        let mut lm = LockManager::new(LockPriorityPolicy::None);
+        let _ = lm.request(t(1), LO, i(1), LockMode::Shared);
+        let _ = lm.request(t(2), LO, i(1), LockMode::Shared);
+        assert_eq!(lm.request(t(1), LO, i(1), LockMode::Exclusive), RequestOutcome::Blocked);
+        let grants = lm.release_all(t(2));
+        assert_eq!(grants, vec![Grant { txn: t(1), item: i(1) }]);
+        // t1 now holds X.
+        assert_eq!(lm.request(t(3), LO, i(1), LockMode::Shared), RequestOutcome::Blocked);
+        lm.check_invariants();
+    }
+
+    #[test]
+    fn deadlock_detected_and_youngest_chosen() {
+        let mut lm = LockManager::new(LockPriorityPolicy::None);
+        let _ = lm.request(t(1), LO, i(1), LockMode::Exclusive);
+        let _ = lm.request(t(2), LO, i(2), LockMode::Exclusive);
+        assert_eq!(lm.request(t(1), LO, i(2), LockMode::Exclusive), RequestOutcome::Blocked);
+        assert_eq!(lm.request(t(2), LO, i(1), LockMode::Exclusive), RequestOutcome::Blocked);
+        let victim = lm.find_deadlock_victim(t(2)).expect("cycle exists");
+        assert_eq!(victim, t(2), "youngest (largest id) in cycle");
+        let grants = lm.abort(victim);
+        // Aborting t2 releases i2 → t1 gets it.
+        assert_eq!(grants, vec![Grant { txn: t(1), item: i(2) }]);
+        assert!(lm.find_deadlock_victim(t(1)).is_none());
+        lm.check_invariants();
+    }
+
+    #[test]
+    fn three_party_deadlock() {
+        let mut lm = LockManager::new(LockPriorityPolicy::None);
+        for n in 1..=3 {
+            let _ = lm.request(t(n), LO, i(n), LockMode::Exclusive);
+        }
+        assert_eq!(lm.request(t(1), LO, i(2), LockMode::Exclusive), RequestOutcome::Blocked);
+        assert_eq!(lm.request(t(2), LO, i(3), LockMode::Exclusive), RequestOutcome::Blocked);
+        assert_eq!(lm.request(t(3), LO, i(1), LockMode::Exclusive), RequestOutcome::Blocked);
+        let victim = lm.find_deadlock_victim(t(3)).expect("3-cycle");
+        assert_eq!(victim, t(3));
+    }
+
+    #[test]
+    fn no_false_deadlocks() {
+        let mut lm = LockManager::new(LockPriorityPolicy::None);
+        let _ = lm.request(t(1), LO, i(1), LockMode::Exclusive);
+        let _ = lm.request(t(2), LO, i(1), LockMode::Exclusive);
+        assert!(lm.find_deadlock_victim(t(2)).is_none());
+    }
+
+    #[test]
+    fn priority_queue_inserts_high_ahead_of_low() {
+        let mut lm = LockManager::new(LockPriorityPolicy::PriorityQueue);
+        let _ = lm.request(t(1), LO, i(1), LockMode::Exclusive);
+        let _ = lm.request(t(2), LO, i(1), LockMode::Exclusive);
+        let _ = lm.request(t(3), HI, i(1), LockMode::Exclusive);
+        let grants = lm.release_all(t(1));
+        assert_eq!(grants, vec![Grant { txn: t(3), item: i(1) }], "high first");
+    }
+
+    #[test]
+    fn high_priority_bypasses_low_waiters() {
+        let mut lm = LockManager::new(LockPriorityPolicy::PriorityQueue);
+        let _ = lm.request(t(1), LO, i(1), LockMode::Shared);
+        let _ = lm.request(t(2), LO, i(1), LockMode::Exclusive); // waits
+        // A high-priority S request may bypass the queued low X.
+        assert_eq!(lm.request(t(3), HI, i(1), LockMode::Shared), RequestOutcome::Granted);
+        // Under the None policy this would have blocked (see the
+        // fifo_prevents_shared_overtaking_exclusive test).
+        lm.check_invariants();
+    }
+
+    #[test]
+    fn pow_victims_are_blocked_low_holders() {
+        let mut lm = LockManager::new(LockPriorityPolicy::PreemptOnWait);
+        let mut prios = HashMap::new();
+        prios.insert(t(1), LO);
+        prios.insert(t(2), LO);
+        prios.insert(t(3), HI);
+        // t1 holds i1 and waits for i2 (held by t2).
+        let _ = lm.request(t(1), LO, i(1), LockMode::Exclusive);
+        let _ = lm.request(t(2), LO, i(2), LockMode::Exclusive);
+        assert_eq!(lm.request(t(1), LO, i(2), LockMode::Shared), RequestOutcome::Blocked);
+        // High-priority t3 blocks on i1 whose holder t1 is waiting → victim.
+        assert_eq!(lm.request(t(3), HI, i(1), LockMode::Exclusive), RequestOutcome::Blocked);
+        assert_eq!(lm.pow_victims(i(1), &prios), vec![t(1)]);
+        // t2 holds i2 but is running (not waiting) → not a victim.
+        assert!(lm.pow_victims(i(2), &prios).is_empty());
+        let grants = lm.abort(t(1));
+        assert_eq!(grants, vec![Grant { txn: t(3), item: i(1) }]);
+        lm.check_invariants();
+    }
+
+    #[test]
+    fn abort_of_waiter_unblocks_queue_behind_it() {
+        let mut lm = LockManager::new(LockPriorityPolicy::None);
+        let _ = lm.request(t(1), LO, i(1), LockMode::Shared);
+        let _ = lm.request(t(2), LO, i(1), LockMode::Exclusive); // waits
+        let _ = lm.request(t(3), LO, i(1), LockMode::Shared); // waits behind X
+        let grants = lm.abort(t(2));
+        assert_eq!(grants, vec![Grant { txn: t(3), item: i(1) }]);
+        lm.check_invariants();
+    }
+
+    #[test]
+    fn stats_count_grants_and_blocks() {
+        let mut lm = LockManager::new(LockPriorityPolicy::None);
+        let _ = lm.request(t(1), LO, i(1), LockMode::Exclusive);
+        let _ = lm.request(t(2), LO, i(1), LockMode::Exclusive);
+        assert_eq!(lm.grant_count(), 1);
+        assert_eq!(lm.block_count(), 1);
+        let _ = lm.release_all(t(1));
+        assert_eq!(lm.grant_count(), 2);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the DBMS substrate components.
+
+use proptest::prelude::*;
+use xsched_dbms::bufferpool::BufferPool;
+use xsched_dbms::cpu::CpuBank;
+use xsched_dbms::txn::{PageId, Priority, Step, TxnBody, TxnId};
+use xsched_dbms::{CpuPolicy, DbmsConfig, DbmsSim, HardwareConfig, StepOutcome};
+
+proptest! {
+    /// LRU capacity is never exceeded; a re-probed page is always resident
+    /// immediately after insertion.
+    #[test]
+    fn bufferpool_capacity_and_residency(
+        cap in 1u64..64,
+        pages in proptest::collection::vec(0u64..200, 1..400),
+    ) {
+        let mut bp = BufferPool::new(cap);
+        for &p in &pages {
+            let page = PageId(p);
+            if !bp.probe(page) {
+                bp.insert(page);
+            }
+            prop_assert!(bp.len() as u64 <= cap);
+            prop_assert!(bp.probe(page), "freshly inserted page must be resident");
+        }
+        prop_assert_eq!(bp.hits() + bp.misses(), 2 * pages.len() as u64);
+    }
+
+    /// The most recently touched `cap` distinct pages are exactly the
+    /// resident set (LRU correctness against a brute-force model).
+    #[test]
+    fn bufferpool_matches_reference_lru(
+        cap in 1usize..16,
+        pages in proptest::collection::vec(0u64..40, 1..200),
+    ) {
+        let mut bp = BufferPool::new(cap as u64);
+        let mut model: Vec<u64> = Vec::new(); // front = MRU
+        for &p in &pages {
+            if bp.probe(PageId(p)) {
+                let pos = model.iter().position(|&x| x == p).expect("model out of sync");
+                model.remove(pos);
+                model.insert(0, p);
+            } else {
+                bp.insert(PageId(p));
+                model.insert(0, p);
+                if model.len() > cap {
+                    model.pop();
+                }
+            }
+            prop_assert_eq!(bp.len(), model.len());
+        }
+        // Every model-resident page must hit (probe also reorders both,
+        // consistently, so check via fresh membership comparison).
+        for &p in &model.clone() {
+            prop_assert!(bp.probe(PageId(p)), "page {p} missing from pool");
+        }
+    }
+
+    /// CPU bank work conservation: total busy time equals total work
+    /// completed, and no job finishes before its work could possibly be
+    /// done (elapsed ≥ work at rate ≤ 1).
+    #[test]
+    fn cpu_bank_conserves_work(
+        works in proptest::collection::vec(0.001f64..0.1, 1..20),
+        cpus in 1u32..4,
+    ) {
+        let mut bank = CpuBank::new(cpus, CpuPolicy::Fair);
+        let mut t = 0.0;
+        for (i, &w) in works.iter().enumerate() {
+            bank.add(t, TxnId(i as u64), w, Priority::Low);
+        }
+        let mut finished = 0;
+        let start = t;
+        while let Some((dt, who)) = bank.next_completion(t) {
+            t += dt;
+            bank.complete(t, who);
+            finished += 1;
+        }
+        prop_assert_eq!(finished, works.len());
+        let total_work: f64 = works.iter().sum();
+        let busy = bank.busy_time(t);
+        prop_assert!((busy - total_work).abs() < 1e-6,
+            "busy {busy} vs work {total_work}");
+        // Makespan ≥ max individual work and ≥ total/cpus.
+        let span = t - start;
+        let min_span = works.iter().cloned().fold(0.0, f64::max)
+            .max(total_work / cpus as f64);
+        prop_assert!(span >= min_span - 1e-9);
+    }
+
+    /// End-to-end: any batch of lock-free transactions commits exactly
+    /// once, and completion timestamps are nondecreasing in drain order.
+    #[test]
+    fn simulator_commits_everything(
+        cpu_bursts in proptest::collection::vec(0.0001f64..0.01, 1..40),
+        seed in any::<u64>(),
+    ) {
+        let mut sim = DbmsSim::new(HardwareConfig::default(), DbmsConfig::default(), seed);
+        for (i, &c) in cpu_bursts.iter().enumerate() {
+            sim.submit(
+                TxnBody {
+                    txn_type: i as u32,
+                    priority: Priority::Low,
+                    steps: vec![Step::compute(c)],
+                },
+                0.0,
+            );
+        }
+        let mut seen = vec![false; cpu_bursts.len()];
+        while sim.step() != StepOutcome::Idle {}
+        for c in sim.drain_completions() {
+            let idx = c.txn_type as usize;
+            prop_assert!(!seen[idx], "duplicate completion for {idx}");
+            seen[idx] = true;
+            prop_assert!(c.completed >= c.admitted);
+            prop_assert!(c.admitted >= c.external_arrival);
+        }
+        prop_assert!(seen.iter().all(|s| *s), "some txn never committed");
+        prop_assert_eq!(sim.in_flight(), 0);
+    }
+}

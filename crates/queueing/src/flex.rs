@@ -1,0 +1,590 @@
+//! The *flexible multiserver queue* of Section 4.2.
+//!
+//! External scheduling with parameter MPL = m is an unbounded FIFO queue
+//! feeding a processor-sharing server that at most `m` jobs may share
+//! (Fig. 8). The paper represents it as an equivalent "flexible multiserver
+//! queue" whose number of servers fluctuates between 1 and `m` while the
+//! *sum* of service rates stays equal to the single PS server's rate
+//! (Fig. 9). With Poisson(λ) arrivals and 2-phase hyperexponential job
+//! sizes the state `(n, j)` — `n` jobs in system, `j` of the
+//! `k = min(n, m)` in-service jobs in phase 1 — is a level-independent
+//! quasi-birth-death (QBD) process for `n ≥ m`, which we solve exactly with
+//! the matrix-geometric method (Neuts; Latouche & Ramaswami, both cited by
+//! the paper).
+//!
+//! Transitions from `(n, j)`, with `k = min(n, m)` and server speed 1 split
+//! equally (each in-service job is served at rate `1/k`, so a phase-`i` job
+//! completes at rate `μᵢ/k`):
+//!
+//! * arrival, rate λ: if `n < m` the job enters service and draws its phase
+//!   (`j+1` w.p. `p`, else `j`); if `n ≥ m` it waits (`j` unchanged);
+//! * phase-1 completion, rate `j·μ₁/k`: if `n > m` the head-of-line waiter
+//!   enters service and draws its phase (net `j` w.p. `p`, `j−1` w.p. `q`);
+//!   otherwise `j−1`;
+//! * phase-2 completion, rate `(k−j)·μ₂/k`: if `n > m`, net `j+1` w.p. `p`,
+//!   `j` w.p. `q`; otherwise `j`.
+//!
+//! MPL = 1 makes this M/H2/1-FIFO (checked against Pollaczek–Khinchine);
+//! MPL → ∞ makes it M/H2/∞-style PS (checked against `E[S]/(1−ρ)`); and
+//! with C² = 1 it collapses to M/M/1 for *every* MPL (checked too).
+
+use crate::h2::H2;
+use crate::linalg::Mat;
+use serde::{Deserialize, Serialize};
+
+/// The flexible multiserver queue: Poisson arrivals, H2 job sizes, at most
+/// `mpl` jobs sharing a unit-speed PS server.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlexServer {
+    /// Arrival rate λ (jobs/second).
+    pub lambda: f64,
+    /// Job-size distribution.
+    pub job_size: H2,
+    /// Multi-programming limit m ≥ 1.
+    pub mpl: u32,
+}
+
+/// Steady-state solution of a [`FlexServer`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlexSolution {
+    /// Mean number of jobs in the system (in service + waiting).
+    pub mean_jobs: f64,
+    /// Mean number of jobs waiting in the external FIFO queue.
+    pub mean_waiting: f64,
+    /// Mean response time `E[T] = E[N]/λ` (Little's law), seconds.
+    pub mean_response_time: f64,
+    /// Probability that the system is empty.
+    pub p_empty: f64,
+    /// Probability that an arriving job must wait (n ≥ mpl).
+    pub p_wait: f64,
+    /// Offered load ρ = λ·`E[S]`.
+    pub rho: f64,
+    /// Iterations the R fixed point needed.
+    pub r_iterations: u32,
+}
+
+impl FlexServer {
+    /// Create a model; panics if unstable (ρ ≥ 1) or `mpl == 0`.
+    pub fn new(lambda: f64, job_size: H2, mpl: u32) -> FlexServer {
+        assert!(mpl >= 1, "MPL must be at least 1");
+        let rho = lambda * job_size.mean();
+        assert!(
+            rho < 1.0,
+            "unstable flexible multiserver queue (rho = {rho})"
+        );
+        FlexServer {
+            lambda,
+            job_size,
+            mpl,
+        }
+    }
+
+    /// Offered load ρ = λ·`E[S]`.
+    pub fn rho(&self) -> f64 {
+        self.lambda * self.job_size.mean()
+    }
+
+    /// The repeating QBD blocks `(A0, A1, A2)` for levels `n ≥ m+1`,
+    /// each `(m+1) × (m+1)` over phase index `j = 0..=m`.
+    pub fn repeating_blocks(&self) -> (Mat, Mat, Mat) {
+        let m = self.mpl as usize;
+        let (p, mu1, mu2) = (self.job_size.p, self.job_size.mu1, self.job_size.mu2);
+        let q = 1.0 - p;
+        let lam = self.lambda;
+        let sz = m + 1;
+
+        let a0 = Mat::identity(sz).scale(lam);
+        let mut a1 = Mat::zeros(sz, sz);
+        let mut a2 = Mat::zeros(sz, sz);
+        for j in 0..=m {
+            let c1 = j as f64 * mu1 / m as f64;
+            let c2 = (m - j) as f64 * mu2 / m as f64;
+            a1[(j, j)] = -(lam + c1 + c2);
+            // Phase-1 completion; HOL waiter backfills and draws a phase.
+            if c1 > 0.0 {
+                a2[(j, j)] += c1 * p;
+                a2[(j, j - 1)] += c1 * q;
+            }
+            // Phase-2 completion; backfill likewise.
+            if c2 > 0.0 {
+                if j < m {
+                    a2[(j, j + 1)] += c2 * p;
+                }
+                a2[(j, j)] += c2 * q;
+            }
+        }
+        (a0, a1, a2)
+    }
+
+    /// Up-transition block from boundary level `n < m` (size
+    /// `(n+1) × (n+2)`): arrival enters service and draws its phase.
+    pub(crate) fn boundary_up(&self, n: usize) -> Mat {
+        let p = self.job_size.p;
+        let lam = self.lambda;
+        let mut up = Mat::zeros(n + 1, n + 2);
+        for j in 0..=n {
+            up[(j, j + 1)] += lam * p;
+            up[(j, j)] += lam * (1.0 - p);
+        }
+        up
+    }
+
+    /// Down-transition block from level `1 ≤ n ≤ m` (size `(n+1) × n`):
+    /// completion with no queue to backfill from.
+    pub(crate) fn boundary_down(&self, n: usize) -> Mat {
+        let (mu1, mu2) = (self.job_size.mu1, self.job_size.mu2);
+        let mut down = Mat::zeros(n + 1, n);
+        for j in 0..=n {
+            let c1 = j as f64 * mu1 / n as f64;
+            let c2 = (n - j) as f64 * mu2 / n as f64;
+            if c1 > 0.0 {
+                down[(j, j - 1)] += c1;
+            }
+            if c2 > 0.0 && j < n {
+                down[(j, j)] += c2;
+            }
+        }
+        down
+    }
+
+    /// Diagonal of the local block at boundary level `n ≤ m`.
+    pub(crate) fn boundary_diag(&self, n: usize) -> Vec<f64> {
+        let (mu1, mu2) = (self.job_size.mu1, self.job_size.mu2);
+        let lam = self.lambda;
+        (0..=n)
+            .map(|j| {
+                if n == 0 {
+                    -lam
+                } else {
+                    let c1 = j as f64 * mu1 / n as f64;
+                    let c2 = (n - j) as f64 * mu2 / n as f64;
+                    -(lam + c1 + c2)
+                }
+            })
+            .collect()
+    }
+
+    /// Compute the minimal nonnegative solution `R` of
+    /// `A0 + R·A1 + R²·A2 = 0` by functional iteration
+    /// `R ← −(A0 + R²·A2)·A1⁻¹` (A1 is diagonal, so the inverse is a
+    /// column scaling). Returns `(R, iterations)`.
+    pub fn solve_r(&self) -> (Mat, u32) {
+        let (a0, a1, a2) = self.repeating_blocks();
+        let sz = a0.rows();
+        let inv_diag: Vec<f64> = (0..sz).map(|j| -1.0 / a1[(j, j)]).collect();
+        let mut r = Mat::zeros(sz, sz);
+        let mut iters = 0;
+        loop {
+            iters += 1;
+            let r2a2 = r.mul(&r).mul(&a2);
+            let mut next = a0.add(&r2a2);
+            // next ← next · (−A1)⁻¹ (diagonal).
+            for i in 0..sz {
+                for j in 0..sz {
+                    next[(i, j)] *= inv_diag[j];
+                }
+            }
+            let delta = next.sub(&r).max_abs();
+            r = next;
+            if delta < 1e-13 || iters >= 500_000 {
+                break;
+            }
+        }
+        (r, iters)
+    }
+
+    /// Solve for the steady state and return the summary metrics.
+    pub fn solve(&self) -> FlexSolution {
+        let m = self.mpl as usize;
+        let (r, r_iters) = self.solve_r();
+        let sz = m + 1;
+        let (_, a1, a2) = self.repeating_blocks();
+
+        // Unknowns: x = [π_0, π_1, ..., π_m], total S entries.
+        let offsets: Vec<usize> = (0..=m).scan(0, |acc, n| {
+            let o = *acc;
+            *acc += n + 1;
+            Some(o)
+        }).collect();
+        let s_total = offsets[m] + (m + 1);
+
+        // Assemble the balance equations x·G = 0 where G[(row=from, col=to)]
+        // holds generator rates between boundary states, with the level-m
+        // column block folded through R (π_{m+1} = π_m R).
+        let mut g = Mat::zeros(s_total, s_total);
+        for n in 0..=m {
+            let off = offsets[n];
+            let diag = self.boundary_diag(n);
+            for j in 0..=n {
+                g[(off + j, off + j)] += diag[j];
+            }
+            if n < m {
+                let up = self.boundary_up(n);
+                let off_up = offsets[n + 1];
+                for j in 0..=n {
+                    for j2 in 0..=(n + 1) {
+                        let v = up[(j, j2)];
+                        if v != 0.0 {
+                            g[(off + j, off_up + j2)] += v;
+                        }
+                    }
+                }
+            }
+            if n >= 1 {
+                let down = self.boundary_down(n);
+                let off_dn = offsets[n - 1];
+                for j in 0..=n {
+                    for j2 in 0..n {
+                        let v = down[(j, j2)];
+                        if v != 0.0 {
+                            g[(off + j, off_dn + j2)] += v;
+                        }
+                    }
+                }
+            }
+        }
+        // Level-m balance also receives π_{m+1}·A2 = π_m·R·A2, and the
+        // diagonal of level m must be the repeating A1 diagonal (it already
+        // is: boundary_diag(m) == diag(A1)).
+        debug_assert!((0..sz).all(|j| {
+            (self.boundary_diag(m)[j] - a1[(j, j)]).abs() < 1e-9
+        }));
+        let ra2 = r.mul(&a2);
+        let off_m = offsets[m];
+        for j in 0..sz {
+            for j2 in 0..sz {
+                let v = ra2[(j, j2)];
+                if v != 0.0 {
+                    g[(off_m + j, off_m + j2)] += v;
+                }
+            }
+        }
+
+        // Normalization: Σ_{n<m} π_n·1 + π_m·(I−R)⁻¹·1 = 1.
+        let i_minus_r = Mat::identity(sz).sub(&r);
+        let inv_imr = i_minus_r.inverse();
+        let ones = vec![1.0; sz];
+        let tail_weight = inv_imr.mul_vec(&ones); // (I−R)⁻¹·1
+
+        // Solve x·G = 0 with the last balance equation replaced by the
+        // normalization. Columns of G are equations; replace column S−1.
+        let mut a = Mat::zeros(s_total, s_total);
+        for eq in 0..s_total {
+            if eq == s_total - 1 {
+                for st in 0..s_total {
+                    let w = if st >= off_m {
+                        tail_weight[st - off_m]
+                    } else {
+                        1.0
+                    };
+                    a[(eq, st)] = w;
+                }
+            } else {
+                for st in 0..s_total {
+                    a[(eq, st)] = g[(st, eq)];
+                }
+            }
+        }
+        let mut b = vec![0.0; s_total];
+        b[s_total - 1] = 1.0;
+        let x = a.solve(&b);
+
+        // Moments. Tail sums: Σ_{k≥0} π_m R^k = π_m (I−R)⁻¹;
+        // Σ_{k≥0} k·π_m R^k = π_m R (I−R)⁻².
+        let pi_m = &x[off_m..off_m + sz];
+        let inv2 = inv_imr.mul(&inv_imr);
+        let r_inv2 = r.mul(&inv2);
+        let tail_mass: f64 = pi_m
+            .iter()
+            .zip(inv_imr.mul_vec(&ones).iter())
+            .map(|(p, w)| p * w)
+            .sum();
+        let tail_excess: f64 = pi_m
+            .iter()
+            .zip(r_inv2.mul_vec(&ones).iter())
+            .map(|(p, w)| p * w)
+            .sum();
+
+        let mut mean_jobs = 0.0;
+        let mut p_wait = 0.0;
+        for n in 0..m {
+            let lvl: f64 = x[offsets[n]..offsets[n] + n + 1].iter().sum();
+            mean_jobs += n as f64 * lvl;
+        }
+        // Levels ≥ m: Σ (m+k) π_{m+k}·1 = m·tail_mass + tail_excess.
+        mean_jobs += m as f64 * tail_mass + tail_excess;
+        p_wait += tail_mass; // P(n ≥ m): arrival waits (PASTA).
+
+        let mean_waiting = tail_excess; // Σ (n−m)⁺ π_n·1
+        let p_empty = x[0];
+        FlexSolution {
+            mean_jobs,
+            mean_waiting,
+            mean_response_time: mean_jobs / self.lambda,
+            p_empty,
+            p_wait,
+            rho: self.rho(),
+            r_iterations: r_iters,
+        }
+    }
+
+    /// Mean response time (convenience).
+    pub fn mean_response_time(&self) -> f64 {
+        self.solve().mean_response_time
+    }
+
+    /// Steady-state distribution of the number of jobs in the system,
+    /// `P(N = n)` for `n = 0..len`, computed to at least `1 - epsilon`
+    /// total mass (the geometric tail is rolled out level by level).
+    pub fn queue_length_distribution(&self, epsilon: f64) -> Vec<f64> {
+        assert!(epsilon > 0.0 && epsilon < 1.0);
+        let m = self.mpl as usize;
+        let (r, _) = self.solve_r();
+        // Re-run the boundary solve to get the level vectors.
+        let sol_levels = self.boundary_levels(&r);
+        let mut out: Vec<f64> = sol_levels.iter().map(|v| v.iter().sum()).collect();
+        // Roll the geometric tail: π_{m+k} = π_m R^k.
+        let mut tail = sol_levels[m].clone();
+        let mut covered: f64 = out.iter().sum();
+        while covered < 1.0 - epsilon && out.len() < 100_000 {
+            tail = r.vec_mul(&tail);
+            let mass: f64 = tail.iter().sum();
+            out.push(mass);
+            covered += mass;
+            if mass < 1e-18 {
+                break;
+            }
+        }
+        out
+    }
+
+    /// The boundary level vectors `π_0 .. π_m` (helper shared with the
+    /// full solve; kept private to the crate).
+    fn boundary_levels(&self, r: &Mat) -> Vec<Vec<f64>> {
+        let m = self.mpl as usize;
+        let sz = m + 1;
+        let (_, _, a2) = self.repeating_blocks();
+        let offsets: Vec<usize> = (0..=m)
+            .scan(0, |acc, n| {
+                let o = *acc;
+                *acc += n + 1;
+                Some(o)
+            })
+            .collect();
+        let s_total = offsets[m] + (m + 1);
+        let mut g = Mat::zeros(s_total, s_total);
+        for n in 0..=m {
+            let off = offsets[n];
+            let diag = self.boundary_diag(n);
+            for j in 0..=n {
+                g[(off + j, off + j)] += diag[j];
+            }
+            if n < m {
+                let up = self.boundary_up(n);
+                let off_up = offsets[n + 1];
+                for j in 0..=n {
+                    for j2 in 0..=(n + 1) {
+                        let v = up[(j, j2)];
+                        if v != 0.0 {
+                            g[(off + j, off_up + j2)] += v;
+                        }
+                    }
+                }
+            }
+            if n >= 1 {
+                let down = self.boundary_down(n);
+                let off_dn = offsets[n - 1];
+                for j in 0..=n {
+                    for j2 in 0..n {
+                        let v = down[(j, j2)];
+                        if v != 0.0 {
+                            g[(off + j, off_dn + j2)] += v;
+                        }
+                    }
+                }
+            }
+        }
+        let ra2 = r.mul(&a2);
+        let off_m = offsets[m];
+        for j in 0..sz {
+            for j2 in 0..sz {
+                let v = ra2[(j, j2)];
+                if v != 0.0 {
+                    g[(off_m + j, off_m + j2)] += v;
+                }
+            }
+        }
+        let i_minus_r = Mat::identity(sz).sub(r);
+        let tail_weight = i_minus_r.inverse().mul_vec(&vec![1.0; sz]);
+        let mut a = Mat::zeros(s_total, s_total);
+        for eq in 0..s_total {
+            if eq == s_total - 1 {
+                for st in 0..s_total {
+                    let w = if st >= off_m {
+                        tail_weight[st - off_m]
+                    } else {
+                        1.0
+                    };
+                    a[(eq, st)] = w;
+                }
+            } else {
+                for st in 0..s_total {
+                    a[(eq, st)] = g[(st, eq)];
+                }
+            }
+        }
+        let mut b = vec![0.0; s_total];
+        b[s_total - 1] = 1.0;
+        let x = a.solve(&b);
+        (0..=m)
+            .map(|n| x[offsets[n]..offsets[n] + n + 1].to_vec())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mg1;
+
+    #[test]
+    fn mm1_for_any_mpl_when_c2_is_one() {
+        // With exponential job sizes the flexible multiserver queue is an
+        // M/M/1 regardless of the MPL: total service rate is constant.
+        let h2 = H2::exponential(0.1);
+        let lambda = 7.0;
+        let want = mg1::mm1_response_time(lambda, 0.1);
+        for mpl in [1u32, 2, 5, 20] {
+            let fs = FlexServer::new(lambda, h2, mpl);
+            let got = fs.mean_response_time();
+            assert!(
+                (got - want).abs() / want < 1e-6,
+                "mpl={mpl}: got {got} want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn mpl_one_is_mg1_fifo() {
+        for &c2 in &[2.0, 5.0, 10.0] {
+            for &rho in &[0.5, 0.7, 0.9] {
+                let h2 = H2::fit(0.1, c2);
+                let lambda = rho / 0.1;
+                let fs = FlexServer::new(lambda, h2, 1);
+                let got = fs.mean_response_time();
+                let want = mg1::mg1_fifo_response_time_h2(lambda, &h2);
+                assert!(
+                    (got - want).abs() / want < 1e-6,
+                    "c2={c2} rho={rho}: got {got} want {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn large_mpl_approaches_ps() {
+        let h2 = H2::fit(0.1, 10.0);
+        let lambda = 7.0;
+        let ps = mg1::mg1_ps_response_time(lambda, 0.1);
+        let fs = FlexServer::new(lambda, h2, 80);
+        let got = fs.mean_response_time();
+        assert!(
+            (got - ps).abs() / ps < 0.03,
+            "MPL=80 should be within 3% of PS: got {got}, ps {ps}"
+        );
+    }
+
+    #[test]
+    fn response_time_decreases_with_mpl_for_high_c2() {
+        let h2 = H2::fit(0.1, 15.0);
+        let lambda = 7.0;
+        let t1 = FlexServer::new(lambda, h2, 1).mean_response_time();
+        let t5 = FlexServer::new(lambda, h2, 5).mean_response_time();
+        let t20 = FlexServer::new(lambda, h2, 20).mean_response_time();
+        assert!(t1 > t5 && t5 > t20, "{t1} {t5} {t20}");
+    }
+
+    #[test]
+    fn higher_load_needs_higher_mpl() {
+        // Fig. 10: at load 0.9 the curve flattens much later than at 0.7.
+        let h2 = H2::fit(0.1, 15.0);
+        let gap = |rho: f64, mpl: u32| {
+            let lambda = rho / 0.1;
+            let ps = mg1::mg1_ps_response_time(lambda, 0.1);
+            (FlexServer::new(lambda, h2, mpl).mean_response_time() - ps) / ps
+        };
+        // With MPL = 10 the 0.7-load system is much closer to PS than the
+        // 0.9-load system.
+        assert!(gap(0.7, 10) < 0.5 * gap(0.9, 10));
+    }
+
+    #[test]
+    fn solution_probabilities_are_sane() {
+        let h2 = H2::fit(0.2, 5.0);
+        let fs = FlexServer::new(3.5, h2, 4); // rho = 0.7
+        let sol = fs.solve();
+        assert!(sol.p_empty > 0.0 && sol.p_empty < 1.0);
+        assert!(sol.p_wait > 0.0 && sol.p_wait < 1.0);
+        assert!(sol.mean_waiting >= 0.0);
+        assert!(sol.mean_jobs >= sol.mean_waiting);
+        assert!((sol.rho - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_is_nonnegative_with_spectral_radius_below_one() {
+        let h2 = H2::fit(0.1, 10.0);
+        let fs = FlexServer::new(9.0, h2, 6); // rho = 0.9
+        let (r, _) = fs.solve_r();
+        for i in 0..r.rows() {
+            for j in 0..r.cols() {
+                assert!(r[(i, j)] >= -1e-12, "negative R entry at ({i},{j})");
+            }
+        }
+        // Row sums of R^k must vanish: check spectral radius via power.
+        let mut pow = r.clone();
+        for _ in 0..200 {
+            pow = pow.mul(&r);
+        }
+        assert!(pow.max_abs() < 1.0, "R^201 should be contracting");
+    }
+
+    #[test]
+    fn queue_length_distribution_normalizes_and_matches_moments() {
+        let h2 = H2::fit(0.1, 5.0);
+        let fs = FlexServer::new(7.0, h2, 4);
+        let dist = fs.queue_length_distribution(1e-10);
+        let total: f64 = dist.iter().sum();
+        assert!((total - 1.0).abs() < 1e-8, "mass {total}");
+        let mean: f64 = dist.iter().enumerate().map(|(n, p)| n as f64 * p).sum();
+        let sol = fs.solve();
+        assert!(
+            (mean - sol.mean_jobs).abs() < 1e-6,
+            "distribution mean {mean} vs solver {}",
+            sol.mean_jobs
+        );
+        assert!((dist[0] - sol.p_empty).abs() < 1e-10);
+    }
+
+    #[test]
+    fn queue_length_distribution_mm1_geometric() {
+        // M/M/1: P(N = n) = (1-rho) rho^n.
+        let fs = FlexServer::new(6.0, H2::exponential(0.1), 3);
+        let dist = fs.queue_length_distribution(1e-12);
+        for (n, p) in dist.iter().take(20).enumerate() {
+            let want = 0.4 * 0.6f64.powi(n as i32);
+            assert!((p - want).abs() < 1e-9, "n={n}: {p} vs {want}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unstable")]
+    fn overload_rejected() {
+        FlexServer::new(11.0, H2::exponential(0.1), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "MPL must be at least 1")]
+    fn zero_mpl_rejected() {
+        FlexServer::new(1.0, H2::exponential(0.1), 0);
+    }
+}

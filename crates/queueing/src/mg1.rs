@@ -1,0 +1,156 @@
+//! Closed-form single-server results.
+//!
+//! These anchor the numerical solvers: the flexible multiserver queue must
+//! collapse to M/G/1-FIFO at MPL = 1 and approach M/G/1-PS as MPL → ∞
+//! (Fig. 10's "PS" reference line).
+
+use crate::h2::H2;
+
+/// Mean response time of an M/M/1 queue with arrival rate `lambda` and mean
+/// service time `es`. Requires ρ = λ·`E[S]` < 1.
+pub fn mm1_response_time(lambda: f64, es: f64) -> f64 {
+    let rho = lambda * es;
+    assert!(rho < 1.0, "unstable M/M/1 (rho = {rho})");
+    es / (1.0 - rho)
+}
+
+/// Mean response time of an M/G/1 FIFO queue (Pollaczek–Khinchine):
+/// `E[T] = E[S] + λ·E[S²] / (2 (1 − ρ))`.
+pub fn mg1_fifo_response_time(lambda: f64, es: f64, es2: f64) -> f64 {
+    let rho = lambda * es;
+    assert!(rho < 1.0, "unstable M/G/1 (rho = {rho})");
+    es + lambda * es2 / (2.0 * (1.0 - rho))
+}
+
+/// Mean response time of an M/G/1 processor-sharing queue:
+/// `E[T] = E[S] / (1 − ρ)` — famously insensitive to the job-size
+/// distribution beyond its mean.
+pub fn mg1_ps_response_time(lambda: f64, es: f64) -> f64 {
+    let rho = lambda * es;
+    assert!(rho < 1.0, "unstable M/G/1-PS (rho = {rho})");
+    es / (1.0 - rho)
+}
+
+/// Convenience: P-K mean response time for an H2 job-size distribution.
+pub fn mg1_fifo_response_time_h2(lambda: f64, h2: &H2) -> f64 {
+    mg1_fifo_response_time(lambda, h2.mean(), h2.second_moment())
+}
+
+/// Offered load ρ = λ·`E[S]`.
+pub fn utilization(lambda: f64, es: f64) -> f64 {
+    lambda * es
+}
+
+/// Erlang-C probability of waiting in an M/M/c queue with arrival rate
+/// `lambda`, mean service time `es` and `c` servers.
+pub fn erlang_c(lambda: f64, es: f64, c: u32) -> f64 {
+    let a = lambda * es; // offered load in Erlangs
+    let rho = a / c as f64;
+    assert!(rho < 1.0, "unstable M/M/c (rho = {rho})");
+    let c = c as f64;
+    // P_wait = (a^c / c!) / ((1-rho) * sum_{k<c} a^k/k! + a^c/c!)
+    let mut term = 1.0; // a^k / k!
+    let mut sum = 0.0;
+    let mut k = 0.0;
+    while k < c {
+        sum += term;
+        k += 1.0;
+        term *= a / k;
+    }
+    // term now holds a^c / c!
+    let top = term / (1.0 - rho);
+    top / (sum + top)
+}
+
+/// Mean response time of an M/M/c queue (Erlang-C):
+/// `E[T] = E[S] + P_wait · E[S] / (c (1 − ρ))`.
+pub fn mmc_response_time(lambda: f64, es: f64, c: u32) -> f64 {
+    let rho = lambda * es / c as f64;
+    assert!(rho < 1.0, "unstable M/M/c (rho = {rho})");
+    es + erlang_c(lambda, es, c) * es / (c as f64 * (1.0 - rho))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mm1_matches_pk_for_exponential() {
+        let es = 0.1;
+        let lambda = 7.0; // rho = 0.7
+        let es2 = 2.0 * es * es;
+        let pk = mg1_fifo_response_time(lambda, es, es2);
+        let mm1 = mm1_response_time(lambda, es);
+        assert!((pk - mm1).abs() < 1e-12, "pk {pk} mm1 {mm1}");
+    }
+
+    #[test]
+    fn ps_equals_mm1_for_exponential_mean() {
+        assert_eq!(mg1_ps_response_time(5.0, 0.1), mm1_response_time(5.0, 0.1));
+    }
+
+    #[test]
+    fn fifo_suffers_from_variability_ps_does_not() {
+        let lambda = 7.0;
+        let lo = H2::fit(0.1, 1.0);
+        let hi = H2::fit(0.1, 15.0);
+        let fifo_lo = mg1_fifo_response_time_h2(lambda, &lo);
+        let fifo_hi = mg1_fifo_response_time_h2(lambda, &hi);
+        assert!(
+            fifo_hi > 5.0 * fifo_lo,
+            "P-K should grow with C2: {fifo_lo} vs {fifo_hi}"
+        );
+        // PS depends only on the mean.
+        assert_eq!(
+            mg1_ps_response_time(lambda, lo.mean()),
+            mg1_ps_response_time(lambda, hi.mean())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unstable")]
+    fn overload_panics() {
+        mm1_response_time(11.0, 0.1);
+    }
+
+    #[test]
+    fn erlang_c_single_server_is_rho() {
+        // For c = 1, P_wait = rho.
+        for &rho in &[0.3, 0.7, 0.9] {
+            let p = erlang_c(rho / 0.1, 0.1, 1);
+            assert!((p - rho).abs() < 1e-12, "rho {rho}: {p}");
+        }
+    }
+
+    #[test]
+    fn mmc_collapses_to_mm1() {
+        let got = mmc_response_time(7.0, 0.1, 1);
+        let want = mm1_response_time(7.0, 0.1);
+        assert!((got - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mmc_reference_value() {
+        // Classic textbook case: c=2, a=1.2 (rho=0.6): P_wait = a^2/2 /
+        // ((1-rho)(1+a) + a^2/2) = 0.72/(0.88+0.72)... computed: 0.45/ ...
+        let p = erlang_c(12.0, 0.1, 2);
+        // direct formula check
+        let a: f64 = 1.2;
+        let top = a * a / 2.0 / (1.0 - 0.6);
+        let want = top / (1.0 + a + top);
+        assert!((p - want).abs() < 1e-12, "{p} vs {want}");
+    }
+
+    #[test]
+    fn more_servers_cut_waiting() {
+        let t2 = mmc_response_time(12.0, 0.1, 2);
+        let t4 = mmc_response_time(12.0, 0.1, 4);
+        assert!(t4 < t2);
+        assert!(t4 > 0.1, "cannot beat the bare service time");
+    }
+
+    #[test]
+    fn utilization_is_lambda_es() {
+        assert!((utilization(9.0, 0.1) - 0.9).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,213 @@
+//! Deterministic future-event list.
+//!
+//! The queue is a binary heap keyed on `(time, seq)` where `seq` is a
+//! monotonically increasing insertion counter. Ties in simulated time are
+//! therefore broken by insertion order, which makes every run fully
+//! deterministic for a given RNG seed — a property the integration tests
+//! rely on.
+//!
+//! Cancellation is handled with *generation tokens* rather than heap
+//! surgery: callers that need to invalidate a previously scheduled event
+//! (e.g. a processor-sharing completion that is obsoleted by a new arrival)
+//! store an epoch counter in the event payload and ignore stale pops. See
+//! `xsched_dbms::cpu` for the idiom.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A future-event list ordered by `(time, insertion order)`.
+///
+/// ```
+/// use xsched_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs_f64(2.0), "later");
+/// q.schedule(SimTime::from_secs_f64(1.0), "sooner");
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!(e, "sooner");
+/// assert_eq!(t, SimTime::from_secs_f64(1.0));
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulated time: the timestamp of the most recently popped
+    /// event (zero before the first pop).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` at absolute time `time`.
+    ///
+    /// Scheduling in the past is a model bug; debug builds assert, release
+    /// builds clamp to `now` so long experiments degrade gracefully instead
+    /// of travelling backwards.
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        debug_assert!(
+            time >= self.now,
+            "scheduled event in the past: {time} < now {}",
+            self.now
+        );
+        let time = time.max(self.now);
+        self.heap.push(Scheduled {
+            time,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedule `event` `delay_secs` seconds from now.
+    pub fn schedule_in(&mut self, delay_secs: f64, event: E) {
+        let t = self
+            .now
+            .saturating_add(crate::time::SimDuration::from_secs_f64(delay_secs));
+        self.schedule(t, event);
+    }
+
+    /// Remove and return the earliest event, advancing the clock to its
+    /// timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.time >= self.now);
+        self.now = s.time;
+        Some((s.time, s.event))
+    }
+
+    /// Timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drop all pending events without touching the clock.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(30), 3);
+        q.schedule(SimTime::from_nanos(10), 1);
+        q.schedule(SimTime::from_nanos(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(42), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_nanos(42));
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs_f64(1.0), "a");
+        q.pop();
+        q.schedule_in(0.5, "b");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs_f64(1.5));
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(1), ());
+        q.schedule(SimTime::from_nanos(2), ());
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn past_schedule_clamps_in_release() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(100), ());
+        q.pop();
+        q.schedule(SimTime::from_nanos(10), ());
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_nanos(100));
+    }
+}

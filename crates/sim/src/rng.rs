@@ -1,0 +1,185 @@
+//! Seeded random number generation.
+//!
+//! Every stochastic component of the simulator (arrival process, each
+//! transaction template, the buffer-pool page picker, ...) draws from its
+//! own [`SimRng`] stream derived from the experiment's master seed. Streams
+//! are derived by hashing `(master_seed, label)` with SplitMix64, so adding
+//! a new consumer never perturbs the draws seen by existing ones — that
+//! keeps A/B comparisons between scheduler variants paired.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// SplitMix64 step, used to derive independent stream seeds.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic random stream.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// A stream seeded directly from `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive an independent stream for component `label`.
+    ///
+    /// The same `(master, label)` pair always yields the same stream.
+    pub fn derive(master: u64, label: &str) -> Self {
+        let mut state = master;
+        for b in label.as_bytes() {
+            state = splitmix64(&mut state) ^ u64::from(*b);
+        }
+        let seed = splitmix64(&mut state);
+        SimRng::seed_from_u64(seed)
+    }
+
+    /// Uniform in `[0, 1)`.
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform in `(0, 1]` — safe as the argument of `ln` for inverse
+    /// transform sampling.
+    #[inline]
+    pub fn uniform_pos(&mut self) -> f64 {
+        1.0 - self.inner.gen::<f64>()
+    }
+
+    /// Uniform in `[lo, hi)`.
+    #[inline]
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`. `n` must be nonzero.
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform integer in `[0, n)` for u64 domains (page/item ids).
+    #[inline]
+    pub fn index_u64(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+
+    /// Exponentially distributed value with the given `mean`.
+    #[inline]
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        -mean * self.uniform_pos().ln()
+    }
+
+    /// Standard normal via Box–Muller (one value per call; simple and
+    /// adequate for our use).
+    pub fn std_normal(&mut self) -> f64 {
+        let u1 = self.uniform_pos();
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Pick an index according to a discrete probability vector `weights`
+    /// (need not be normalized).
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        debug_assert!(!weights.is_empty());
+        let total: f64 = weights.iter().sum();
+        let mut x = self.uniform() * total;
+        for (i, w) in weights.iter().enumerate() {
+            if x < *w {
+                return i;
+            }
+            x -= w;
+        }
+        weights.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SimRng::seed_from_u64(7);
+        let mut b = SimRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn derived_streams_differ_by_label() {
+        let mut a = SimRng::derive(1, "arrivals");
+        let mut b = SimRng::derive(1, "service");
+        let xs: Vec<f64> = (0..8).map(|_| a.uniform()).collect();
+        let ys: Vec<f64> = (0..8).map(|_| b.uniform()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn derived_streams_repeatable() {
+        let mut a = SimRng::derive(99, "x");
+        let mut b = SimRng::derive(99, "x");
+        assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+    }
+
+    #[test]
+    fn exp_mean_is_close() {
+        let mut r = SimRng::seed_from_u64(3);
+        let n = 200_000;
+        let mean = 0.25;
+        let sum: f64 = (0..n).map(|_| r.exp(mean)).sum();
+        let m = sum / n as f64;
+        assert!((m - mean).abs() < 0.005, "sample mean {m}");
+    }
+
+    #[test]
+    fn uniform_pos_never_zero() {
+        let mut r = SimRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            assert!(r.uniform_pos() > 0.0);
+        }
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = SimRng::seed_from_u64(11);
+        let w = [1.0, 3.0];
+        let n = 100_000;
+        let ones = (0..n).filter(|_| r.weighted_index(&w) == 1).count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn std_normal_moments() {
+        let mut r = SimRng::seed_from_u64(13);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.std_normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+}

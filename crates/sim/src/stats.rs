@@ -1,0 +1,404 @@
+//! Online and batch statistics.
+//!
+//! The controller's observation phase (paper §4.3) needs mean response time
+//! and throughput estimates *with confidence intervals* so it only reacts
+//! to stable measurements; the workload characterization (§3.2) needs the
+//! squared coefficient of variation C². Both live here.
+
+use serde::{Deserialize, Serialize};
+
+/// Welford's online algorithm for running mean/variance, plus C².
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Squared coefficient of variation C² = Var / Mean².
+    pub fn c2(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.variance() / (m * m)
+        }
+    }
+
+    /// Merge another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let d = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += d * n2 / n;
+        self.m2 += other.m2 + d * d * n1 * n2 / n;
+        self.n += other.n;
+    }
+
+    /// Two-sided confidence interval for the mean at the given level
+    /// (`0.95` or `0.99`), using a Student-t critical value.
+    pub fn confidence_interval(&self, level: f64) -> ConfidenceInterval {
+        let half = if self.n < 2 {
+            f64::INFINITY
+        } else {
+            t_critical(self.n - 1, level) * self.std_dev() / (self.n as f64).sqrt()
+        };
+        ConfidenceInterval {
+            mean: self.mean(),
+            half_width: half,
+            level,
+        }
+    }
+}
+
+/// A symmetric confidence interval around a sample mean.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// Point estimate.
+    pub mean: f64,
+    /// Half-width of the interval (`mean ± half_width`).
+    pub half_width: f64,
+    /// Confidence level the interval was built for.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Relative half-width `half_width / mean`; infinite when the mean is 0.
+    pub fn relative_half_width(&self) -> f64 {
+        if self.mean == 0.0 {
+            f64::INFINITY
+        } else {
+            (self.half_width / self.mean).abs()
+        }
+    }
+}
+
+/// Two-sided Student-t critical value for `df` degrees of freedom.
+///
+/// Table-interpolated for the levels the controller uses (0.90/0.95/0.99);
+/// falls back to the normal quantile for large `df`, which is exact in the
+/// limit and within 1% for df ≥ 30.
+fn t_critical(df: u64, level: f64) -> f64 {
+    // Rows: df 1..=30 selected; columns for levels.
+    const DF: [u64; 12] = [1, 2, 3, 4, 5, 6, 8, 10, 15, 20, 25, 30];
+    const T90: [f64; 12] = [
+        6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.860, 1.812, 1.753, 1.725, 1.708, 1.697,
+    ];
+    const T95: [f64; 12] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.306, 2.228, 2.131, 2.086, 2.060, 2.042,
+    ];
+    const T99: [f64; 12] = [
+        63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.355, 3.169, 2.947, 2.845, 2.787, 2.750,
+    ];
+    let (table, z) = if level >= 0.985 {
+        (&T99, 2.576)
+    } else if level >= 0.925 {
+        (&T95, 1.960)
+    } else {
+        (&T90, 1.645)
+    };
+    if df > 30 {
+        return z;
+    }
+    // Find bracketing rows and interpolate linearly in 1/df.
+    let mut i = 0;
+    while i + 1 < DF.len() && DF[i + 1] <= df {
+        i += 1;
+    }
+    if DF[i] == df || i + 1 == DF.len() {
+        return table[i];
+    }
+    let (d0, d1) = (DF[i] as f64, DF[i + 1] as f64);
+    let w = (1.0 / df as f64 - 1.0 / d1) / (1.0 / d0 - 1.0 / d1);
+    table[i + 1] + w * (table[i] - table[i + 1])
+}
+
+/// A batch of samples supporting percentile queries.
+///
+/// Stores the raw values; fine for the experiment scales in this workspace
+/// (at most a few million samples per run).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SampleSet {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl SampleSet {
+    /// An empty sample set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one sample.
+    pub fn push(&mut self, x: f64) {
+        self.values.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// The `q`-quantile (`0 ≤ q ≤ 1`) by nearest-rank on the sorted data.
+    pub fn percentile(&mut self, q: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.values
+                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+        let idx = ((self.values.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+        self.values[idx]
+    }
+
+    /// Maximum sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.values.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Squared coefficient of variation of the samples.
+    pub fn c2(&self) -> f64 {
+        let n = self.values.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var =
+            self.values.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (n - 1) as f64;
+        if m == 0.0 {
+            0.0
+        } else {
+            var / (m * m)
+        }
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal, e.g. resource
+/// utilization or queue length over simulated time.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    last_t: f64,
+    last_v: f64,
+    area: f64,
+    span: f64,
+    started: bool,
+}
+
+impl TimeWeighted {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that the signal changed to `value` at time `t` (seconds).
+    pub fn update(&mut self, t: f64, value: f64) {
+        if self.started {
+            let dt = (t - self.last_t).max(0.0);
+            self.area += self.last_v * dt;
+            self.span += dt;
+        }
+        self.last_t = t;
+        self.last_v = value;
+        self.started = true;
+    }
+
+    /// Close the window at time `t` and return the time average so far.
+    pub fn finish(&mut self, t: f64) -> f64 {
+        self.update(t, self.last_v);
+        self.average()
+    }
+
+    /// Time average over the observed span (0 if the span is empty).
+    pub fn average(&self) -> f64 {
+        if self.span == 0.0 {
+            0.0
+        } else {
+            self.area / self.span
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_batch() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        // batch unbiased variance = 32/7
+        assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() + 2.0).collect();
+        let mut all = Welford::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert!((a.mean() - all.mean()).abs() < 1e-10);
+        assert!((a.variance() - all.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn c2_of_exponential_samples_near_one() {
+        use crate::rng::SimRng;
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut w = Welford::new();
+        for _ in 0..300_000 {
+            w.push(rng.exp(3.0));
+        }
+        assert!((w.c2() - 1.0).abs() < 0.03, "c2 {}", w.c2());
+    }
+
+    #[test]
+    fn confidence_interval_shrinks_with_n() {
+        use crate::rng::SimRng;
+        let mut rng = SimRng::seed_from_u64(2);
+        let mut w = Welford::new();
+        for _ in 0..20 {
+            w.push(rng.uniform());
+        }
+        let wide = w.confidence_interval(0.95).half_width;
+        for _ in 0..2000 {
+            w.push(rng.uniform());
+        }
+        let narrow = w.confidence_interval(0.95).half_width;
+        assert!(narrow < wide / 5.0, "wide {wide} narrow {narrow}");
+    }
+
+    #[test]
+    fn t_critical_reference_values() {
+        assert!((t_critical(1, 0.95) - 12.706).abs() < 1e-3);
+        assert!((t_critical(10, 0.95) - 2.228).abs() < 1e-3);
+        assert!((t_critical(1000, 0.95) - 1.960).abs() < 1e-3);
+        assert!((t_critical(5, 0.99) - 4.032).abs() < 1e-3);
+        assert!((t_critical(30, 0.90) - 1.697).abs() < 1e-3);
+        // interpolated row: df=12 should be between df=10 and df=15 values
+        let t12 = t_critical(12, 0.95);
+        assert!(t12 < 2.228 && t12 > 2.131, "t12 {t12}");
+    }
+
+    #[test]
+    fn empty_welford_ci_is_infinite() {
+        let w = Welford::new();
+        assert!(w.confidence_interval(0.95).half_width.is_infinite());
+        assert_eq!(w.confidence_interval(0.95).relative_half_width(), f64::INFINITY);
+    }
+
+    #[test]
+    fn percentiles() {
+        let mut s = SampleSet::new();
+        for i in 1..=100 {
+            s.push(i as f64);
+        }
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(1.0), 100.0);
+        assert!((s.percentile(0.5) - 50.0).abs() <= 1.0);
+        assert!((s.percentile(0.95) - 95.0).abs() <= 1.0);
+        assert_eq!(s.max(), 100.0);
+    }
+
+    #[test]
+    fn sampleset_c2() {
+        let mut s = SampleSet::new();
+        for &x in &[1.0, 1.0, 1.0, 1.0] {
+            s.push(x);
+        }
+        assert_eq!(s.c2(), 0.0);
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        let mut tw = TimeWeighted::new();
+        tw.update(0.0, 1.0); // value 1 on [0, 2)
+        tw.update(2.0, 3.0); // value 3 on [2, 4)
+        let avg = tw.finish(4.0);
+        assert!((avg - 2.0).abs() < 1e-12, "avg {avg}");
+    }
+
+    #[test]
+    fn time_weighted_empty_is_zero() {
+        let tw = TimeWeighted::new();
+        assert_eq!(tw.average(), 0.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Zipf-distributed integer sampling.
+//!
+//! Database page and lock-item accesses are skewed: a small set of hot rows
+//! (warehouse rows in TPC-C, best-seller items in TPC-W) receives most of
+//! the traffic. We model that with a Zipf(θ) law over `n` items. θ = 0 is
+//! uniform; larger θ concentrates mass on low-numbered items.
+//!
+//! Sampling uses a precomputed CDF with binary search for small `n`, and
+//! the rejection-inversion-free two-segment approximation ("hot set +
+//! uniform tail") for large `n` where materializing the CDF would be
+//! wasteful. The approximation keeps the head of the distribution exact
+//! (first `HOT_EXACT` items) which is what matters for lock contention.
+
+use crate::rng::SimRng;
+
+const HOT_EXACT: usize = 4096;
+
+/// A Zipf(θ) sampler over `{0, 1, ..., n-1}`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    /// Exact CDF over the hot head (and the whole domain when n is small).
+    head_cdf: Vec<f64>,
+    /// Probability mass of the head.
+    head_mass: f64,
+    theta: f64,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` items with skew `theta >= 0`.
+    pub fn new(n: u64, theta: f64) -> Zipf {
+        assert!(n > 0, "Zipf domain must be nonempty");
+        assert!(theta >= 0.0, "skew must be nonnegative");
+        let head_len = (n as usize).min(HOT_EXACT);
+        // Unnormalized weights 1/(i+1)^theta for the head.
+        let mut head: Vec<f64> = (0..head_len)
+            .map(|i| 1.0 / ((i + 1) as f64).powf(theta))
+            .collect();
+        // Total mass: exact head + integral approximation of the tail
+        // sum_{i=head_len+1..n} i^-theta ~ integral.
+        let head_sum: f64 = head.iter().sum();
+        let tail_sum = if (n as usize) > head_len {
+            integral_pow(head_len as f64 + 0.5, n as f64 + 0.5, theta)
+        } else {
+            0.0
+        };
+        let total = head_sum + tail_sum;
+        let mut acc = 0.0;
+        for w in head.iter_mut() {
+            acc += *w / total;
+            *w = acc;
+        }
+        Zipf {
+            n,
+            head_cdf: head,
+            head_mass: head_sum / total,
+            theta,
+        }
+    }
+
+    /// Number of items in the domain.
+    pub fn domain(&self) -> u64 {
+        self.n
+    }
+
+    /// Draw one item index in `[0, n)`.
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        let u = rng.uniform();
+        if u < self.head_mass || self.head_cdf.len() == self.n as usize {
+            // Binary search the head CDF.
+            let target = u.min(*self.head_cdf.last().unwrap());
+            let idx = self.head_cdf.partition_point(|&c| c < target);
+            (idx as u64).min(self.n - 1)
+        } else {
+            // Tail: invert the continuous approximation of the CDF.
+            let h = self.head_cdf.len() as f64 + 0.5;
+            let nn = self.n as f64 + 0.5;
+            let v = (u - self.head_mass) / (1.0 - self.head_mass);
+            let x = invert_integral_pow(h, nn, self.theta, v);
+            (x.floor() as u64).clamp(self.head_cdf.len() as u64, self.n - 1)
+        }
+    }
+}
+
+/// ∫_a^b x^-theta dx.
+fn integral_pow(a: f64, b: f64, theta: f64) -> f64 {
+    if (theta - 1.0).abs() < 1e-12 {
+        (b / a).ln()
+    } else {
+        (b.powf(1.0 - theta) - a.powf(1.0 - theta)) / (1.0 - theta)
+    }
+}
+
+/// Solve for x in [a,b] with ∫_a^x = v · ∫_a^b.
+fn invert_integral_pow(a: f64, b: f64, theta: f64, v: f64) -> f64 {
+    if (theta - 1.0).abs() < 1e-12 {
+        a * (b / a).powf(v)
+    } else {
+        let ia = a.powf(1.0 - theta);
+        let ib = b.powf(1.0 - theta);
+        (ia + v * (ib - ia)).powf(1.0 / (1.0 - theta))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipf::new(100, 0.0);
+        let mut rng = SimRng::seed_from_u64(1);
+        let n = 200_000;
+        let mut counts = vec![0u32; 100];
+        for _ in 0..n {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for (i, c) in counts.iter().enumerate() {
+            let f = *c as f64 / n as f64;
+            assert!((f - 0.01).abs() < 0.004, "item {i}: freq {f}");
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_on_head() {
+        let z = Zipf::new(10_000, 0.99);
+        let mut rng = SimRng::seed_from_u64(2);
+        let n = 100_000;
+        let hot = (0..n).filter(|_| z.sample(&mut rng) < 100).count();
+        // With theta ~1, the top 1% of items should get a large share.
+        let frac = hot as f64 / n as f64;
+        assert!(frac > 0.4, "hot fraction {frac}");
+    }
+
+    #[test]
+    fn all_samples_in_domain() {
+        for &(n, theta) in &[(1u64, 0.9), (5, 0.5), (100_000, 1.2), (10_000_000, 0.8)] {
+            let z = Zipf::new(n, theta);
+            let mut rng = SimRng::seed_from_u64(3);
+            for _ in 0..5_000 {
+                let s = z.sample(&mut rng);
+                assert!(s < n, "sample {s} out of domain {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn head_frequencies_match_zipf_law() {
+        let n = 1_000_000u64;
+        let theta = 1.0;
+        let z = Zipf::new(n, theta);
+        let mut rng = SimRng::seed_from_u64(4);
+        let draws = 400_000;
+        let mut c0 = 0u32;
+        let mut c1 = 0u32;
+        for _ in 0..draws {
+            match z.sample(&mut rng) {
+                0 => c0 += 1,
+                1 => c1 += 1,
+                _ => {}
+            }
+        }
+        // item 0 should be drawn about twice as often as item 1.
+        let ratio = c0 as f64 / c1 as f64;
+        assert!((ratio - 2.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn large_domain_tail_is_reachable() {
+        let n = 50_000_000u64;
+        let z = Zipf::new(n, 0.5);
+        let mut rng = SimRng::seed_from_u64(5);
+        let mut saw_tail = false;
+        for _ in 0..20_000 {
+            if z.sample(&mut rng) > n / 2 {
+                saw_tail = true;
+                break;
+            }
+        }
+        assert!(saw_tail, "low-skew Zipf never reached the tail");
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the DES kernel, distributions and statistics.
+
+use proptest::prelude::*;
+use xsched_sim::{Dist, EventQueue, SampleSet, SimRng, SimTime, Welford};
+use xsched_sim::zipf::Zipf;
+
+proptest! {
+    /// Events always pop in nondecreasing time order, with insertion order
+    /// breaking ties — regardless of the schedule pattern.
+    #[test]
+    fn event_queue_pops_sorted(times in proptest::collection::vec(0u64..1_000_000, 1..300)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(*t), i);
+        }
+        let mut last = (SimTime::ZERO, 0usize);
+        let mut first = true;
+        let mut popped = 0;
+        while let Some((t, i)) = q.pop() {
+            popped += 1;
+            if !first {
+                prop_assert!(t >= last.0);
+                if t == last.0 {
+                    prop_assert!(i > last.1, "ties must break by insertion order");
+                }
+            }
+            prop_assert_eq!(t, SimTime::from_nanos(times[i]));
+            last = (t, i);
+            first = false;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// All distributions produce nonnegative, finite samples with means
+    /// near the analytic value.
+    #[test]
+    fn distributions_sane(seed in any::<u64>(), mean in 0.001f64..10.0, c2 in 1.0f64..20.0) {
+        let dists = [
+            Dist::constant(mean),
+            Dist::exp(mean),
+            Dist::fit_h2(mean, c2),
+            Dist::Erlang { k: 3, mean },
+            Dist::Uniform { lo: 0.5 * mean, hi: 1.5 * mean },
+        ];
+        let mut rng = SimRng::seed_from_u64(seed);
+        for d in &dists {
+            let n = 4000;
+            let mut sum = 0.0;
+            for _ in 0..n {
+                let x = d.sample(&mut rng);
+                prop_assert!(x.is_finite() && x >= 0.0, "{d:?} produced {x}");
+                sum += x;
+            }
+            let m = sum / n as f64;
+            // Loose bound: 4000 samples of a c2<=20 distribution.
+            prop_assert!((m - mean).abs() < mean * 0.5,
+                "{d:?}: sample mean {m} vs {mean}");
+        }
+    }
+
+    /// Zipf samples always fall in the domain, for any size/skew.
+    #[test]
+    fn zipf_in_domain(n in 1u64..5_000_000, theta in 0.0f64..1.5, seed in any::<u64>()) {
+        let z = Zipf::new(n, theta);
+        let mut rng = SimRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    /// Welford merge is equivalent to sequential accumulation at any split
+    /// point.
+    #[test]
+    fn welford_merge_any_split(xs in proptest::collection::vec(-1e3f64..1e3, 2..200), split in 0usize..200) {
+        let split = split % xs.len();
+        let mut all = Welford::new();
+        for &x in &xs { all.push(x); }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..split] { a.push(x); }
+        for &x in &xs[split..] { b.push(x); }
+        a.merge(&b);
+        prop_assert!((a.mean() - all.mean()).abs() < 1e-8);
+        prop_assert!((a.variance() - all.variance()).abs() < 1e-6 * all.variance().max(1.0));
+    }
+
+    /// Percentiles are monotone in the quantile and bracketed by min/max.
+    #[test]
+    fn percentiles_monotone(xs in proptest::collection::vec(0.0f64..1e6, 1..300)) {
+        let mut s = SampleSet::new();
+        for &x in &xs { s.push(x); }
+        let p0 = s.percentile(0.0);
+        let p50 = s.percentile(0.5);
+        let p100 = s.percentile(1.0);
+        prop_assert!(p0 <= p50 && p50 <= p100);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(0.0, f64::max);
+        prop_assert_eq!(p0, lo);
+        prop_assert_eq!(p100, hi);
+    }
+
+    /// Derived RNG streams are reproducible and label-sensitive.
+    #[test]
+    fn rng_streams(seed in any::<u64>()) {
+        let a: Vec<u64> = {
+            let mut r = SimRng::derive(seed, "x");
+            (0..8).map(|_| r.uniform().to_bits()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SimRng::derive(seed, "x");
+            (0..8).map(|_| r.uniform().to_bits()).collect()
+        };
+        prop_assert_eq!(&a, &b);
+        let c: Vec<u64> = {
+            let mut r = SimRng::derive(seed, "y");
+            (0..8).map(|_| r.uniform().to_bits()).collect()
+        };
+        prop_assert_ne!(&a, &c);
+    }
+}

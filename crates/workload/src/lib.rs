@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! Transactional workload generation.
+//!
+//! The paper builds its workload matrix (Table 1) from two benchmarks —
+//! TPC-C and TPC-W — varied across database size, buffer pool size and
+//! transaction mix, then crosses them with hardware configurations into 17
+//! setups (Table 2). This crate provides:
+//!
+//! * [`spec`] — parametric transaction templates (steps, CPU demand
+//!   distributions, page footprints, lock profiles) and a generator that
+//!   turns them into `xsched_dbms::TxnBody` programs,
+//! * [`tpcc`] — the 5-type inventory mix (C² ≈ 1–1.5),
+//! * [`tpcw`] — browsing and ordering web-commerce mixes (browsing
+//!   C² ≈ 15, matching §3.2's measurement),
+//! * [`trace`] — synthetic stand-ins for the paper's proprietary top-10
+//!   online retailer / auction-site traces (C² ≈ 2),
+//! * [`client`] — closed (think-time) and open (Poisson) arrival models,
+//! * [`setups`][mod@setups] — Table 1's six workloads and Table 2's 17 setups, each
+//!   mapped to concrete hardware and DBMS configurations.
+
+pub mod client;
+pub mod setups;
+pub mod spec;
+pub mod tpcc;
+pub mod tpcw;
+pub mod trace;
+
+pub use client::ArrivalProcess;
+pub use setups::{setup, setups, workloads, Setup};
+pub use spec::{LockProfile, TxnGen, TxnTemplate, WorkloadSpec};

@@ -1,0 +1,183 @@
+//! TPC-C-like inventory workloads.
+//!
+//! Five transaction types with the standard mix weights (NewOrder 45%,
+//! Payment 43%, OrderStatus/Delivery/StockLevel 4% each). Demands are
+//! low-variability (per-step exponential bursts; C² of the intrinsic
+//! demand ≈ 1.2, inside the paper's measured 1.0–1.5 band). NewOrder and
+//! Payment take exclusive locks on the hot warehouse/district rows, which
+//! is what makes the inventory workloads lock-bound under Repeatable Read
+//! (setups 1–2 in §5.2).
+//!
+//! The three Table-1 variants share the mix and differ in database
+//! geometry: `cpu_inventory` (10 warehouses, fits in the buffer pool),
+//! `io_inventory` (60 warehouses, 6 GB database against a 100 MB pool),
+//! and `balanced_inventory` (10 warehouses against a pool that only
+//! half-fits).
+
+use crate::spec::{LockProfile, TxnTemplate, WorkloadSpec};
+use xsched_sim::Dist;
+
+/// The five-type TPC-C transaction mix.
+pub fn templates() -> Vec<TxnTemplate> {
+    vec![
+        TxnTemplate {
+            name: "NewOrder",
+            weight: 0.45,
+            steps: 12,
+            cpu_per_step: Dist::exp(0.0006),
+            pages_per_step: 2,
+            locks: LockProfile {
+                lock_prob: 0.9,
+                hot_prob: 0.12,
+                write_prob: 0.25,
+                late_hot: false,
+                upgrade_prob: 0.0,
+            },
+        },
+        TxnTemplate {
+            name: "Payment",
+            weight: 0.43,
+            steps: 4,
+            cpu_per_step: Dist::exp(0.0004),
+            pages_per_step: 1,
+            locks: LockProfile {
+                lock_prob: 0.9,
+                hot_prob: 0.5,
+                write_prob: 0.7,
+                late_hot: true,
+                upgrade_prob: 0.9,
+            },
+        },
+        TxnTemplate {
+            name: "OrderStatus",
+            weight: 0.04,
+            steps: 4,
+            cpu_per_step: Dist::exp(0.0005),
+            pages_per_step: 2,
+            locks: LockProfile {
+                lock_prob: 0.8,
+                hot_prob: 0.3,
+                write_prob: 0.0,
+                late_hot: false,
+                upgrade_prob: 0.0,
+            },
+        },
+        // Delivery is the heavy type: in real TPC-C it processes a batch
+        // of ten deferred orders, which is what lifts the mixture C² into
+        // the paper's measured 1.0–1.5 band.
+        TxnTemplate {
+            name: "Delivery",
+            weight: 0.04,
+            steps: 36,
+            cpu_per_step: Dist::exp(0.0009),
+            pages_per_step: 2,
+            locks: LockProfile {
+                lock_prob: 0.7,
+                hot_prob: 0.08,
+                write_prob: 0.8,
+                late_hot: true,
+                upgrade_prob: 0.0,
+            },
+        },
+        TxnTemplate {
+            name: "StockLevel",
+            weight: 0.04,
+            steps: 8,
+            cpu_per_step: Dist::exp(0.0015),
+            pages_per_step: 4,
+            locks: LockProfile {
+                lock_prob: 0.8,
+                hot_prob: 0.3,
+                write_prob: 0.0,
+                late_hot: false,
+                upgrade_prob: 0.0,
+            },
+        },
+    ]
+}
+
+/// `W_CPU-inventory`: 10 warehouses (≈ 1 GB), buffer pool ≥ database →
+/// CPU-bound once warm.
+pub fn cpu_inventory() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "W_CPU-inventory",
+        templates: templates(),
+        db_pages: 40_000,
+        page_theta: 1.0,
+        hot_items: 30, // 10 warehouse rows + 20 hottest district rows
+        item_space: 1_000_000,
+    }
+}
+
+/// `W_IO-inventory`: 60 warehouses (≈ 6 GB) against a 100 MB pool →
+/// almost every page access is a disk read.
+pub fn io_inventory() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "W_IO-inventory",
+        templates: templates(),
+        db_pages: 600_000,
+        page_theta: 0.6,
+        hot_items: 120, // 60 warehouse rows + hottest district rows
+        item_space: 6_000_000,
+    }
+}
+
+/// `W_CPU+IO-inventory`: 10 warehouses against a pool that holds only part
+/// of the working set → both CPU and disk highly utilized.
+pub fn balanced_inventory() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "W_CPU+IO-inventory",
+        templates: templates(),
+        db_pages: 100_000,
+        page_theta: 1.0,
+        hot_items: 30,
+        item_space: 1_000_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_weights_sum_to_one() {
+        let total: f64 = templates().iter().map(|t| t.weight).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn c2_is_in_the_papers_tpcc_band() {
+        // §3.2: "In the TPC-C benchmark the C2 value varies between 1.0
+        // and 1.5". Check the CPU-bound (cached: io_cost 0) view.
+        let (_, c2) = cpu_inventory().intrinsic_demand_stats(0.0);
+        assert!((1.0..=1.6).contains(&c2), "TPC-C C2 = {c2}");
+        // And the I/O view (uncached page cost 5 ms).
+        let (_, c2io) = io_inventory().intrinsic_demand_stats(0.005);
+        assert!((0.5..=2.0).contains(&c2io), "TPC-C I/O C2 = {c2io}");
+    }
+
+    #[test]
+    fn new_order_and_payment_dominate() {
+        let t = templates();
+        assert!(t[0].weight + t[1].weight > 0.85);
+        assert_eq!(t[0].name, "NewOrder");
+        assert_eq!(t[1].name, "Payment");
+    }
+
+    #[test]
+    fn inventory_mixes_write_hot_items() {
+        for spec in [cpu_inventory(), io_inventory(), balanced_inventory()] {
+            let writes_hot = spec
+                .templates
+                .iter()
+                .any(|t| t.locks.hot_prob > 0.0 && t.locks.write_prob > 0.5);
+            assert!(writes_hot, "{} lacks hot write locks", spec.name);
+        }
+    }
+
+    #[test]
+    fn io_variant_is_bigger_than_pool_sized_variants() {
+        assert!(io_inventory().db_pages > 10 * cpu_inventory().db_pages / 2);
+        assert!(balanced_inventory().db_pages > cpu_inventory().db_pages);
+    }
+}

@@ -1,0 +1,134 @@
+//! Synthetic stand-ins for the paper's commercial traces.
+//!
+//! §3.2 compares the benchmarks against traces from "one of the top-10
+//! online retailers" and "one of the top-10 auctioning sites in the US"
+//! and reports C² ≈ 2 for both — closer to TPC-C than to TPC-W. Those
+//! traces are proprietary, so we substitute mixes tuned to the same
+//! statistic: a dominant population of short request-backed transactions
+//! with a modest heavy fringe. The only property the paper uses is the
+//! C² value, which the tests pin to the reported ≈ 2.
+
+use crate::spec::{LockProfile, TxnTemplate, WorkloadSpec};
+use xsched_sim::Dist;
+
+/// Synthetic "top-10 online retailer" mix, C² ≈ 2.
+pub fn retailer() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "trace-retailer",
+        templates: vec![
+            TxnTemplate {
+                name: "CatalogView",
+                weight: 0.85,
+                steps: 5,
+                cpu_per_step: Dist::exp(0.002),
+                pages_per_step: 2,
+                locks: LockProfile::read_mostly(0.2),
+            },
+            TxnTemplate {
+                name: "CartUpdate",
+                weight: 0.12,
+                steps: 8,
+                cpu_per_step: Dist::exp(0.005),
+                pages_per_step: 3,
+                locks: LockProfile {
+                    lock_prob: 0.5,
+                    hot_prob: 0.05,
+                    write_prob: 0.8,
+                    late_hot: false,
+                    upgrade_prob: 0.0,
+                },
+            },
+            TxnTemplate {
+                name: "Checkout",
+                weight: 0.03,
+                steps: 12,
+                cpu_per_step: Dist::exp(0.012),
+                pages_per_step: 6,
+                locks: LockProfile {
+                    lock_prob: 0.6,
+                    hot_prob: 0.10,
+                    write_prob: 0.9,
+                    late_hot: false,
+                    upgrade_prob: 0.0,
+                },
+            },
+        ],
+        db_pages: 50_000,
+        page_theta: 0.9,
+        hot_items: 100,
+        item_space: 1_000_000,
+    }
+}
+
+/// Synthetic "top-10 auction site" mix, C² ≈ 2.
+pub fn auction() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "trace-auction",
+        templates: vec![
+            TxnTemplate {
+                name: "ViewItem",
+                weight: 0.80,
+                steps: 4,
+                cpu_per_step: Dist::exp(0.002),
+                pages_per_step: 2,
+                locks: LockProfile::read_mostly(0.2),
+            },
+            TxnTemplate {
+                name: "PlaceBid",
+                weight: 0.17,
+                steps: 6,
+                cpu_per_step: Dist::exp(0.004),
+                pages_per_step: 2,
+                locks: LockProfile {
+                    lock_prob: 0.7,
+                    hot_prob: 0.15,
+                    write_prob: 0.9,
+                    late_hot: false,
+                    upgrade_prob: 0.0,
+                },
+            },
+            TxnTemplate {
+                name: "CloseAuction",
+                weight: 0.03,
+                steps: 10,
+                cpu_per_step: Dist::exp(0.014),
+                pages_per_step: 5,
+                locks: LockProfile {
+                    lock_prob: 0.6,
+                    hot_prob: 0.20,
+                    write_prob: 1.0,
+                    late_hot: false,
+                    upgrade_prob: 0.0,
+                },
+            },
+        ],
+        db_pages: 50_000,
+        page_theta: 0.9,
+        hot_items: 200,
+        item_space: 1_000_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_traces_have_c2_near_two() {
+        // §3.2: "the traces exhibit values for C2 of around 2".
+        for spec in [retailer(), auction()] {
+            let (_, c2) = spec.intrinsic_demand_stats(0.0);
+            assert!((1.4..=3.0).contains(&c2), "{}: C2 = {c2}", spec.name);
+        }
+    }
+
+    #[test]
+    fn traces_sit_between_tpcc_and_tpcw() {
+        let (_, tpcc) = crate::tpcc::cpu_inventory().intrinsic_demand_stats(0.0);
+        let (_, tpcw) = crate::tpcw::cpu_browsing().intrinsic_demand_stats(0.0);
+        for spec in [retailer(), auction()] {
+            let (_, c2) = spec.intrinsic_demand_stats(0.0);
+            assert!(c2 > tpcc && c2 < tpcw, "{}: {c2} vs {tpcc}/{tpcw}", spec.name);
+        }
+    }
+}

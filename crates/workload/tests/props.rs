@@ -1,0 +1,90 @@
+//! Property-based tests for workload generation.
+
+use proptest::prelude::*;
+use xsched_dbms::txn::{LockMode, Priority};
+use xsched_workload::{setup, TxnGen};
+
+proptest! {
+    /// Every generated body is structurally valid for every setup: step
+    /// counts match a template, pages are within the database, items are
+    /// within the hot+regular space, and CPU demands are finite and
+    /// nonnegative.
+    #[test]
+    fn generated_bodies_are_valid(id in 1u32..=17, seed in any::<u64>()) {
+        let s = setup(id);
+        let db_pages = s.workload.db_pages;
+        let item_bound = s.workload.hot_items + s.workload.item_space;
+        let mut g = TxnGen::new(s.workload, seed);
+        for _ in 0..50 {
+            let b = g.next();
+            let t = &g.spec().templates[b.txn_type as usize];
+            prop_assert_eq!(b.steps.len(), t.steps as usize);
+            for st in &b.steps {
+                prop_assert!(st.cpu.is_finite() && st.cpu >= 0.0);
+                prop_assert_eq!(st.pages.len(), t.pages_per_step as usize);
+                for p in &st.pages {
+                    prop_assert!(p.0 < db_pages);
+                }
+                if let Some((item, _)) = st.lock {
+                    prop_assert!(item.0 < item_bound);
+                }
+            }
+        }
+    }
+
+    /// Under Repeatable Read semantics the generator's upgrade pattern is
+    /// well-formed: a shared lock on an item always precedes the exclusive
+    /// lock on the same item within a body (never after — that would be a
+    /// guaranteed self-deadlock in naive managers).
+    #[test]
+    fn upgrade_reads_precede_writes(seed in any::<u64>()) {
+        let s = setup(1); // Payment has upgrade_prob > 0
+        let mut g = TxnGen::new(s.workload, seed);
+        for _ in 0..100 {
+            let b = g.next();
+            for (i, st) in b.steps.iter().enumerate() {
+                if let Some((item, LockMode::Shared)) = st.lock {
+                    // If the same item appears exclusively later, fine; it
+                    // must never appear exclusively *earlier*.
+                    for earlier in &b.steps[..i] {
+                        if let Some((it2, LockMode::Exclusive)) = earlier.lock {
+                            prop_assert!(
+                                it2 != item,
+                                "S after X on the same item within one txn"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The high-priority fraction concentrates near its setting.
+    #[test]
+    fn priority_fraction_tracks_setting(frac in 0.0f64..1.0, seed in any::<u64>()) {
+        let s = setup(3);
+        let mut g = TxnGen::new(s.workload, seed).with_high_fraction(frac);
+        let n = 3000;
+        let high = (0..n).filter(|_| g.next_priority() == Priority::High).count();
+        let got = high as f64 / n as f64;
+        prop_assert!((got - frac).abs() < 0.05, "frac {frac}: got {got}");
+    }
+
+    /// Analytic intrinsic-demand stats are consistent with sampling for
+    /// every setup's workload.
+    #[test]
+    fn demand_stats_consistent(id in 1u32..=17) {
+        let s = setup(id);
+        let (mean, c2) = s.workload.intrinsic_demand_stats(0.005);
+        prop_assert!(mean > 0.0 && mean.is_finite());
+        prop_assert!(c2 >= 0.0 && c2.is_finite());
+        let mut g = TxnGen::new(s.workload, 99);
+        let n = 30_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            sum += g.sample_intrinsic_demand(0.005);
+        }
+        let m = sum / n as f64;
+        prop_assert!((m - mean).abs() / mean < 0.25, "sampled {m} vs analytic {mean}");
+    }
+}

@@ -1,0 +1,56 @@
+//! Watch the feedback controller work, window by window (§4.3).
+//!
+//! Drives an [`MplController`] directly against the simulated DBMS so the
+//! per-window trace (MPL, throughput, response time, verdict) is visible,
+//! then contrasts convergence with and without the queueing-theoretic
+//! jump-start.
+//!
+//! ```text
+//! cargo run --release --example adaptive_mpl
+//! ```
+
+use extsched::core::{Driver, RunConfig, Targets};
+use extsched::workload::setup;
+
+fn main() {
+    let rc = RunConfig {
+        warmup_txns: 200,
+        measured_txns: 1500,
+        ..Default::default()
+    };
+
+    for id in [1u32, 5, 11] {
+        let driver = Driver::new(setup(id)).with_config(rc.clone());
+        let warm = driver.run_controller_with_start(Targets::five_percent(), None);
+        let cold = driver.run_controller_with_start(Targets::five_percent(), Some(1));
+        println!(
+            "setup {id:2} ({}):",
+            driver.setup().workload.name
+        );
+        println!(
+            "  queueing jump-start at MPL {:>3} -> converged at MPL {:>3} in {} windows",
+            warm.jumpstart_mpl, warm.final_mpl, warm.iterations
+        );
+        for (i, w) in warm.trace.iter().enumerate() {
+            println!(
+                "    window {:>2}: MPL {:>3}  {:>6.1} txn/s  {:>7.3} s  {}",
+                i + 1,
+                w.mpl,
+                w.throughput,
+                w.mean_rt,
+                if w.feasible { "feasible" } else { "INFEASIBLE" }
+            );
+        }
+        println!(
+            "  cold start          at MPL   1 -> converged at MPL {:>3} in {} windows",
+            cold.final_mpl, cold.iterations
+        );
+        assert!(warm.converged && cold.converged);
+    }
+
+    println!(
+        "\nThe jump-start is what lets the controller use small, conservative\n\
+         reaction steps and still converge in a handful of observation windows\n\
+         (the paper reports < 10 iterations across all 17 setups)."
+    );
+}

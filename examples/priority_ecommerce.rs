@@ -1,0 +1,47 @@
+//! The paper's motivating scenario (§1, §5): an e-commerce site whose
+//! "big spenders" should see fast response times, implemented purely
+//! *outside* the DBMS.
+//!
+//! Compares three deployments of the same TPC-W ordering workload:
+//!   1. no external scheduling at all (the baseline everyone runs),
+//!   2. external priority scheduling with an MPL tuned for ≤5% loss,
+//!   3. the same with a 20% loss budget (stronger differentiation).
+//!
+//! ```text
+//! cargo run --release --example priority_ecommerce
+//! ```
+
+use extsched::core::{Driver, RunConfig};
+use extsched::workload::setup;
+
+fn main() {
+    // Setup 13: TPC-W ordering mix (the buy path carries the revenue),
+    // 1 CPU, 1 disk, Repeatable Read.
+    let rc = RunConfig {
+        warmup_txns: 200,
+        measured_txns: 1500,
+        ..Default::default()
+    };
+    let driver = Driver::new(setup(13)).with_config(rc);
+
+    println!("workload: {}", driver.setup().workload.name);
+    for (label, loss) in [("5% loss budget", 0.05), ("20% loss budget", 0.20)] {
+        let o = driver.priority_experiment(loss);
+        println!("\n=== external prioritization, {label} (MPL {}) ===", o.mpl);
+        println!("  big spenders (10%):   {:.3} s", o.rt_high);
+        println!("  everyone else:        {:.3} s", o.rt_low);
+        println!("  no prioritization:    {:.3} s", o.rt_noprio);
+        println!(
+            "  differentiation {:.1}x; low-priority penalty {:.2}x; throughput {:.1}/{:.1} txn/s",
+            o.differentiation(),
+            o.low_penalty(),
+            o.achieved_tput,
+            o.reference_tput,
+        );
+    }
+    println!(
+        "\nThe paper's finding: with the MPL tuned to the loss budget, external\n\
+         prioritization differentiates by roughly an order of magnitude while\n\
+         low-priority transactions suffer only modestly — no DBMS changes needed."
+    );
+}

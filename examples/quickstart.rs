@@ -1,0 +1,52 @@
+//! Quickstart: tune the MPL automatically, then schedule with priorities.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use extsched::core::{Driver, PolicyKind, RunConfig, Targets};
+use extsched::workload::setup;
+
+fn main() {
+    // Setup 1 of the paper: TPC-C-style inventory workload on 1 CPU and
+    // 1 disk, Repeatable Read isolation, 100 closed clients.
+    let rc = RunConfig {
+        warmup_txns: 200,
+        measured_txns: 1500,
+        ..Default::default()
+    };
+    let driver = Driver::new(setup(1)).with_config(rc);
+
+    // Let the feedback controller find the lowest MPL that keeps
+    // throughput and mean response time within 5% of the unthrottled
+    // system. It is jump-started from the queueing models of §4.
+    println!("running controller (5% targets)...");
+    let outcome = driver.run_controller(Targets::five_percent());
+    println!(
+        "  jump-start MPL {} -> final MPL {} in {} iterations (converged: {})",
+        outcome.jumpstart_mpl, outcome.final_mpl, outcome.iterations, outcome.converged
+    );
+    println!(
+        "  reference: {:.1} txn/s, {:.3} s mean response time",
+        outcome.reference_tput, outcome.reference_rt
+    );
+
+    // Now run two-class priority scheduling at that MPL: 10% of the
+    // transactions are high priority and jump the external queue.
+    let run = driver.run(outcome.final_mpl, PolicyKind::Priority, &driver.saturated());
+    println!("\npriority scheduling at MPL {}:", outcome.final_mpl);
+    println!(
+        "  high priority: {:.3} s over {} txns",
+        run.rt_high, run.count_high
+    );
+    println!(
+        "  low  priority: {:.3} s over {} txns",
+        run.rt_low, run.count_low
+    );
+    println!(
+        "  differentiation: {:.1}x, throughput {:.1} txn/s ({:.0}% of reference)",
+        run.rt_low / run.rt_high,
+        run.throughput,
+        100.0 * run.throughput / outcome.reference_tput
+    );
+}

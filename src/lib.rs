@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+//! # extsched — external transaction scheduling with a tuned MPL
+//!
+//! A full reimplementation of *"How to Determine a Good Multi-Programming
+//! Level for External Scheduling"* (Schroeder, Harchol-Balter, Iyengar,
+//! Nahum, Wierman — ICDE 2006): hold transactions in an external queue the
+//! application controls, admit at most **MPL** of them into the DBMS, and
+//! automatically tune that MPL to the lowest value that costs neither
+//! throughput nor overall mean response time — which is exactly what makes
+//! external prioritization nearly as effective as scheduling inside the
+//! DBMS.
+//!
+//! The umbrella crate re-exports the workspace:
+//!
+//! * [`sim`] — deterministic discrete-event kernel, distributions, stats;
+//! * [`dbms`] — the simulated transactional DBMS substrate (PS CPUs, FCFS
+//!   disks, LRU buffer pool, 2PL lock manager with deadlock handling and
+//!   POW);
+//! * [`workload`] — TPC-C/TPC-W-style generators and the paper's 17
+//!   experimental setups;
+//! * [`queueing`] — exact MVA, H2 fitting, and the matrix-geometric
+//!   solution of the flexible multiserver queue;
+//! * [`core`] — the external scheduler, queue policies, the feedback MPL
+//!   controller, and the experiment driver.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use extsched::core::{Driver, PolicyKind, RunConfig, Targets};
+//! use extsched::workload::setup;
+//!
+//! // Setup 1 of the paper: TPC-C-style inventory workload, 1 CPU, 1 disk.
+//! let rc = RunConfig { warmup_txns: 50, measured_txns: 300, ..Default::default() };
+//! let driver = Driver::new(setup(1)).with_config(rc);
+//!
+//! // Let the controller find the lowest MPL within a 20% loss budget.
+//! let outcome = driver.run_controller(Targets::twenty_percent());
+//! assert!(outcome.converged);
+//! assert!(outcome.iterations < 10); // the paper's bound
+//!
+//! // Run two-class priority scheduling at that MPL.
+//! let run = driver.run(outcome.final_mpl, PolicyKind::Priority, &driver.saturated());
+//! assert!(run.rt_high < run.rt_low); // high priority gets faster service
+//! ```
+
+pub use xsched_core as core;
+pub use xsched_dbms as dbms;
+pub use xsched_queueing as queueing;
+pub use xsched_sim as sim;
+pub use xsched_workload as workload;
