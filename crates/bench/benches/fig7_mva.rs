@@ -8,10 +8,14 @@ use xsched_queueing::{recommend, ClosedNetwork, ThroughputModel};
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig7_mva");
     for disks in [1usize, 4, 16] {
-        g.bench_with_input(BenchmarkId::new("solve_series_1000", disks), &disks, |b, &d| {
-            let net = ClosedNetwork::balanced(d, 1.0);
-            b.iter(|| net.solve_series(1000).last().unwrap().throughput);
-        });
+        g.bench_with_input(
+            BenchmarkId::new("solve_series_1000", disks),
+            &disks,
+            |b, &d| {
+                let net = ClosedNetwork::balanced(d, 1.0);
+                b.iter(|| net.solve_series(1000).last().unwrap().throughput);
+            },
+        );
         g.bench_with_input(BenchmarkId::new("min_mpl_95", disks), &disks, |b, &d| {
             let model = ThroughputModel::balanced(d);
             b.iter(|| recommend::min_mpl_for_throughput(&model, 0.95));

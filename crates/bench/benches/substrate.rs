@@ -7,8 +7,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use xsched_dbms::bufferpool::BufferPool;
 use xsched_dbms::cpu::CpuBank;
 use xsched_dbms::lock::LockManager;
-use xsched_dbms::{CpuPolicy, LockPriorityPolicy};
 use xsched_dbms::txn::{ItemId, LockMode, PageId, Priority, TxnId};
+use xsched_dbms::{CpuPolicy, LockPriorityPolicy};
 use xsched_sim::zipf::Zipf;
 use xsched_sim::{EventQueue, SimRng, SimTime};
 

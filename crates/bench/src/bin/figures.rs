@@ -1,35 +1,75 @@
-//! Regenerate the paper's tables and figures.
+//! Regenerate the paper's tables and figures through the sweep layer.
 //!
 //! ```text
 //! cargo run --release -p xsched-bench --bin figures -- all
 //! cargo run --release -p xsched-bench --bin figures -- fig2 fig7
 //! cargo run --release -p xsched-bench --bin figures -- --quick all
+//! cargo run --release -p xsched-bench --bin figures -- --replications 5 fig2
+//! cargo run --release -p xsched-bench --bin figures -- --seeds 7,8,9 --threads 4 fig11a
 //! ```
+//!
+//! With more than one replication seed every table cell prints
+//! `mean ±95% CI half-width` over the replications; sweeps always fan out
+//! across the worker pool (`--threads`, default one per core).
 
+use xsched_bench::cli::{parse_args, USAGE};
 use xsched_bench::*;
 use xsched_core::RunConfig;
 
 const EXPERIMENTS: &[&str] = &[
-    "table1", "table2", "fig2", "fig3", "fig4", "fig5", "c2", "rt_open", "fig7", "fig9", "fig10",
-    "controller", "ablation_jumpstart", "fig11a", "fig11b", "fig12", "fig13",
-    "ablation_policy", "ablation_dbms", "crosscheck",
+    "table1",
+    "table2",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "c2",
+    "rt_open",
+    "fig7",
+    "fig9",
+    "fig10",
+    "controller",
+    "ablation_jumpstart",
+    "fig11a",
+    "fig11b",
+    "fig12",
+    "fig13",
+    "ablation_policy",
+    "ablation_dbms",
+    "crosscheck",
 ];
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let names: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
-    let names: Vec<&str> = if names.is_empty() || names.contains(&"all") {
-        EXPERIMENTS.to_vec()
-    } else {
-        names
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
     };
+    if args.help {
+        print!("{USAGE}");
+        return;
+    }
+    if args.list {
+        for name in EXPERIMENTS {
+            println!("{name}");
+        }
+        return;
+    }
+    let names: Vec<&str> =
+        if args.experiments.is_empty() || args.experiments.iter().any(|n| n == "all") {
+            EXPERIMENTS.to_vec()
+        } else {
+            args.experiments.iter().map(String::as_str).collect()
+        };
 
-    let rc = if quick {
+    let opts = SweepOpts {
+        seeds: args.seeds.clone(),
+        threads: args.threads,
+    };
+    let rc = if args.quick {
         RunConfig {
             warmup_txns: 100,
             measured_txns: 800,
@@ -42,9 +82,10 @@ fn main() {
             ..Default::default()
         }
     };
-    // Controller sessions and priority experiments run many inner runs;
-    // use a lighter config for them unless asked for full length.
-    let rc_heavy = if quick {
+    // Controller sessions and MPL searches run many inner sims per
+    // scenario; use a lighter config for them unless asked for full
+    // length.
+    let rc_heavy = if args.quick {
         RunConfig {
             warmup_txns: 100,
             measured_txns: 600,
@@ -63,23 +104,27 @@ fn main() {
         let report = match name {
             "table1" => table1_report(),
             "table2" => table2_report(),
-            "fig2" => fig2_report(&rc),
-            "fig3" => fig3_report(&rc),
-            "fig4" => fig4_report(&rc),
-            "fig5" => fig5_report(&rc),
+            "fig2" => fig2_report(&rc, &opts),
+            "fig3" => fig3_report(&rc, &opts),
+            "fig4" => fig4_report(&rc, &opts),
+            "fig5" => fig5_report(&rc, &opts),
             "c2" => c2_report(),
-            "rt_open" => rt_open_report(&rc_heavy),
+            "rt_open" => rt_open_report(&rc_heavy, &opts),
             "fig7" => fig7_report(),
             "fig9" => fig9_report(),
             "fig10" => fig10_report(),
-            "controller" => controller_report(&rc_heavy, &(1..=17).collect::<Vec<_>>()),
-            "ablation_jumpstart" => controller_ablation_report(&rc_heavy, &[1, 3, 5, 11]),
-            "fig11a" => fig11_report(&rc_heavy, 0.05),
-            "fig11b" => fig11_report(&rc_heavy, 0.20),
-            "fig12" => fig12_report(&rc_heavy),
-            "fig13" => fig13_report(&rc_heavy),
-            "ablation_policy" => policy_ablation_report(&rc_heavy),
-            "ablation_dbms" => dbms_ablation_report(&rc_heavy),
+            "controller" => controller_report(
+                &rc_heavy,
+                &xsched_workload::setup_ids().collect::<Vec<_>>(),
+                &opts,
+            ),
+            "ablation_jumpstart" => controller_ablation_report(&rc_heavy, &[1, 3, 5, 11], &opts),
+            "fig11a" => fig11_report(&rc_heavy, 0.05, &opts),
+            "fig11b" => fig11_report(&rc_heavy, 0.20, &opts),
+            "fig12" => fig12_report(&rc_heavy, &opts),
+            "fig13" => fig13_report(&rc_heavy, &opts),
+            "ablation_policy" => policy_ablation_report(&rc_heavy, &opts),
+            "ablation_dbms" => dbms_ablation_report(&rc_heavy, &opts),
             "crosscheck" => qbd_crosscheck_report(),
             other => {
                 eprintln!("unknown experiment `{other}`; known: {EXPERIMENTS:?}");

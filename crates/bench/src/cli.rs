@@ -1,0 +1,153 @@
+//! Argument parsing for the `figures` binary.
+//!
+//! A small hand-rolled parser (the build environment has no crates.io
+//! access, so `clap` cannot be vendored) covering exactly the surface the
+//! binary needs: `--quick`, `--seeds`, `--replications`, `--threads`,
+//! `--list`, `--help`, and positional experiment names. Parsing is pure —
+//! errors come back as `Err(String)` so both the binary and the unit
+//! tests can exercise every path.
+
+/// Parsed command line for the `figures` binary.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FiguresArgs {
+    /// Experiment names to run (empty = caller's default set).
+    pub experiments: Vec<String>,
+    /// Shorter runs for smoke-testing.
+    pub quick: bool,
+    /// Replication seeds (empty = each figure's configured seed).
+    pub seeds: Vec<u64>,
+    /// Worker threads; `0` = one per core.
+    pub threads: usize,
+    /// Print the experiment list and exit.
+    pub list: bool,
+    /// Print usage and exit.
+    pub help: bool,
+}
+
+/// Usage text for `--help`.
+pub const USAGE: &str = "\
+figures — regenerate the paper's tables and figures
+
+USAGE:
+    figures [OPTIONS] [EXPERIMENT]...
+
+ARGS:
+    [EXPERIMENT]...      experiment names (`all` or empty = everything);
+                         use --list to enumerate
+
+OPTIONS:
+    -q, --quick              shorter runs (smoke-test scale)
+    -s, --seeds LIST         comma-separated replication seeds
+                             [default: each figure's configured seed (42)]
+    -r, --replications N     run N replications seeded base, base+1, ...
+                             (base = first --seeds value, or 42); tables
+                             then print mean ±95% CI half-width per cell
+    -t, --threads N          worker threads, 0 = one per core [default: 0]
+    -l, --list               list experiment names and exit
+    -h, --help               print this help and exit
+";
+
+fn parse_u64_list(v: &str) -> Result<Vec<u64>, String> {
+    let seeds: Result<Vec<u64>, _> = v.split(',').map(|s| s.trim().parse::<u64>()).collect();
+    match seeds {
+        Ok(s) if !s.is_empty() => Ok(s),
+        _ => Err(format!("invalid seed list `{v}` (want e.g. `42,43,44`)")),
+    }
+}
+
+/// Parse the argument vector (without the program name).
+pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<FiguresArgs, String> {
+    let mut out = FiguresArgs::default();
+    let mut replications: Option<usize> = None;
+    let mut it = args.iter().map(AsRef::as_ref);
+    while let Some(arg) = it.next() {
+        let mut value_for = |flag: &str| {
+            it.next()
+                .map(str::to_string)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg {
+            "-q" | "--quick" => out.quick = true,
+            "-l" | "--list" => out.list = true,
+            "-h" | "--help" => out.help = true,
+            "-s" | "--seeds" => out.seeds = parse_u64_list(&value_for(arg)?)?,
+            "-r" | "--replications" => {
+                let v = value_for(arg)?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("invalid replication count `{v}`"))?;
+                if n == 0 {
+                    return Err("--replications must be at least 1".into());
+                }
+                replications = Some(n);
+            }
+            "-t" | "--threads" => {
+                let v = value_for(arg)?;
+                out.threads = v
+                    .parse()
+                    .map_err(|_| format!("invalid thread count `{v}`"))?;
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}` (see --help)"));
+            }
+            name => out.experiments.push(name.to_string()),
+        }
+    }
+    if let Some(n) = replications {
+        let base = out.seeds.first().copied().unwrap_or(42);
+        out.seeds = (0..n as u64).map(|i| base.wrapping_add(i)).collect();
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let a = parse_args::<&str>(&[]).unwrap();
+        assert_eq!(a, FiguresArgs::default());
+    }
+
+    #[test]
+    fn flags_and_positionals() {
+        let a = parse_args(&["--quick", "fig2", "fig7", "--threads", "3"]).unwrap();
+        assert!(a.quick);
+        assert_eq!(a.threads, 3);
+        assert_eq!(a.experiments, ["fig2", "fig7"]);
+    }
+
+    #[test]
+    fn explicit_seed_list() {
+        let a = parse_args(&["--seeds", "7,8,9"]).unwrap();
+        assert_eq!(a.seeds, [7, 8, 9]);
+    }
+
+    #[test]
+    fn replications_expand_from_base_seed() {
+        let a = parse_args(&["--seeds", "100", "--replications", "4"]).unwrap();
+        assert_eq!(a.seeds, [100, 101, 102, 103]);
+        // Order independence: -r before -s expands the same way.
+        let b = parse_args(&["-r", "4", "-s", "100"]).unwrap();
+        assert_eq!(b.seeds, a.seeds);
+        // No --seeds: replications expand from the default base 42.
+        let c = parse_args(&["-r", "3"]).unwrap();
+        assert_eq!(c.seeds, [42, 43, 44]);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_args(&["--seeds"]).is_err());
+        assert!(parse_args(&["--seeds", "x"]).is_err());
+        assert!(parse_args(&["--replications", "0"]).is_err());
+        assert!(parse_args(&["--bogus"]).is_err());
+    }
+
+    #[test]
+    fn short_flags() {
+        let a = parse_args(&["-q", "-l", "-h", "-t", "2"]).unwrap();
+        assert!(a.quick && a.list && a.help);
+        assert_eq!(a.threads, 2);
+    }
+}

@@ -1,25 +1,53 @@
 //! One function per table/figure of Schroeder et al. (ICDE 2006).
 //!
-//! Simulation-backed experiments take a [`RunConfig`] so the `figures`
-//! binary can run them at full length while tests run them quickly.
-//! Analytic experiments (Figs. 7 and 10) take no configuration — they are
-//! exact.
+//! Every simulation-backed experiment builds a [`SweepPlan`] — a list of
+//! [`Scenario`] literals — and renders it with the shared
+//! [`pivot_table`](crate::table::pivot_table) builder, so all figures share
+//! one execution path: multi-core fan-out over `(scenario, seed)` tasks
+//! and 95% confidence intervals whenever more than one replication seed is
+//! configured (see [`SweepOpts`]). Analytic experiments (Figs. 7, 9, 10)
+//! take no configuration — they are exact.
 
-use crate::fmt::{f1, f2, f3, ms, table};
-use xsched_core::{Driver, PolicyKind, RunConfig, Targets};
+use crate::fmt::{f0, f1, f2, f3, ms, table};
+use crate::table::{pivot_table, Col};
+use xsched_core::{
+    ArrivalSpec, ExecSpec, MplSpec, PolicyKind, RunConfig, Scenario, ScenarioResult, SweepExecutor,
+    SweepPlan, Targets,
+};
 use xsched_dbms::{CpuPolicy, LockPriorityPolicy};
-use xsched_queueing::{flex::FlexServer, mg1, recommend, ClosedNetwork, H2, ThroughputModel};
-use xsched_workload::{setup, setups, trace, workloads, ArrivalProcess};
+use xsched_queueing::{flex::FlexServer, mg1, recommend, ClosedNetwork, ThroughputModel, H2};
+use xsched_workload::{labeled_setups, setup, setup_ids, setups, trace, workloads, Setup};
 
 /// The MPL grid used by the throughput figures.
 pub const MPL_GRID: [u32; 10] = [1, 2, 3, 5, 7, 10, 15, 20, 30, 40];
+
+/// How a report executes its sweep: replication seeds and worker threads.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOpts {
+    /// Replication seeds; every scenario runs once per seed and cells
+    /// print `mean ±hw` when there are at least two. **Empty** (the
+    /// default) runs each scenario once under the caller's
+    /// `RunConfig::seed`, so reports stay faithful to a custom seed.
+    pub seeds: Vec<u64>,
+    /// Worker threads (`0` = one per available core).
+    pub threads: usize,
+}
+
+impl SweepOpts {
+    /// Execute `scenarios` under these options.
+    pub fn run(&self, scenarios: Vec<Scenario>) -> Vec<ScenarioResult> {
+        let plan = SweepPlan::new(scenarios).with_seeds(self.seeds.clone());
+        SweepExecutor::parallel(self.threads).run(&plan)
+    }
+}
 
 /// Heavy-tailed (C² ≈ 15) workloads need much longer measurement windows:
 /// with completion-count windows the rare huge transactions accumulate
 /// past the window's end and measured throughput is biased upward. Scale
 /// the run length for the browsing setups so references are unbiased.
 fn rc_for(id: u32, rc: &RunConfig) -> RunConfig {
-    if setup(id).workload.name.contains("browsing") || setup(id).workload.name.contains("ordering") {
+    if setup(id).workload.name.contains("browsing") || setup(id).workload.name.contains("ordering")
+    {
         RunConfig {
             warmup_txns: rc.warmup_txns * 3,
             measured_txns: rc.measured_txns * 5,
@@ -87,38 +115,63 @@ pub fn table2_report() -> String {
     format!(
         "Table 2 — setups\n{}",
         table(
-            &["setup", "workload", "CPUs", "disks", "isolation", "pool pages", "clients"],
+            &[
+                "setup",
+                "workload",
+                "CPUs",
+                "disks",
+                "isolation",
+                "pool pages",
+                "clients"
+            ],
             &rows,
         )
     )
 }
 
 /// Throughput-vs-MPL table for a set of setups (the engine behind
-/// Figs. 2–5). Returns `(report, curves)` where `curves[i][j]` is the
-/// throughput of setup `i` at `MPL_GRID[j]`.
+/// Figs. 2–5). Returns `(report, curves)` where `curves[i][j]` is the mean
+/// throughput of setup `i` at `grid[j]`.
 pub fn throughput_curves(
     labels: &[(&str, u32)],
+    grid: &[u32],
     rc: &RunConfig,
+    opts: &SweepOpts,
 ) -> (String, Vec<Vec<f64>>) {
-    let mut rows = Vec::new();
-    let mut curves = Vec::new();
-    for (label, id) in labels {
-        let d = Driver::new(setup(*id)).with_config(rc_for(*id, rc));
-        let results = d.throughput_curve(&MPL_GRID);
-        let tputs: Vec<f64> = results.iter().map(|r| r.throughput).collect();
-        let mut row = vec![format!("{label} (setup {id})")];
-        row.extend(tputs.iter().map(|t| f1(*t)));
-        rows.push(row);
-        curves.push(tputs);
-    }
-    let mut headers: Vec<String> = vec!["curve".to_string()];
-    headers.extend(MPL_GRID.iter().map(|m| format!("MPL {m}")));
-    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
-    (table(&headers_ref, &rows), curves)
+    let scenarios: Vec<Scenario> = labeled_setups(labels)
+        .into_iter()
+        .flat_map(|(label, s)| {
+            let rc = rc_for(s.id, rc);
+            grid.iter()
+                .map(|&m| {
+                    Scenario::tput(
+                        format!("{label} (setup {})", s.id),
+                        s.clone(),
+                        m,
+                        rc.clone(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let results = opts.run(scenarios);
+
+    let cols: Vec<Col> = grid
+        .iter()
+        .map(|m| Col::new(format!("MPL {m}"), "throughput", format!("MPL {m}"), f1))
+        .collect();
+    let report = pivot_table("curve", &results, &cols);
+
+    // Result order is plan order: row-major over labels × grid.
+    let curves = results
+        .chunks(grid.len())
+        .map(|row| row.iter().map(|r| r.mean("throughput")).collect())
+        .collect();
+    (report, curves)
 }
 
 /// Fig. 2: throughput vs. MPL for the CPU-bound workloads, 1 vs 2 CPUs.
-pub fn fig2_report(rc: &RunConfig) -> String {
+pub fn fig2_report(rc: &RunConfig, opts: &SweepOpts) -> String {
     let (t, _) = throughput_curves(
         &[
             ("W_CPU-inventory 1 CPU", 1),
@@ -126,13 +179,15 @@ pub fn fig2_report(rc: &RunConfig) -> String {
             ("W_CPU-browsing 1 CPU", 3),
             ("W_CPU-browsing 2 CPUs", 4),
         ],
+        &MPL_GRID,
         rc,
+        opts,
     );
     format!("Fig. 2 — effect of MPL on throughput, CPU-bound workloads\n{t}")
 }
 
 /// Fig. 3: throughput vs. MPL for the I/O-bound workloads, 1–4 disks.
-pub fn fig3_report(rc: &RunConfig) -> String {
+pub fn fig3_report(rc: &RunConfig, opts: &SweepOpts) -> String {
     let (t, _) = throughput_curves(
         &[
             ("W_IO-inventory 1 disk", 5),
@@ -142,46 +197,41 @@ pub fn fig3_report(rc: &RunConfig) -> String {
             ("W_IO-browsing 1 disk", 9),
             ("W_IO-browsing 4 disks", 10),
         ],
+        &MPL_GRID,
         rc,
+        opts,
     );
     format!("Fig. 3 — effect of MPL on throughput, I/O-bound workloads\n{t}")
 }
 
 /// Fig. 4: throughput vs. MPL for the balanced CPU+I/O workload.
-pub fn fig4_report(rc: &RunConfig) -> String {
+pub fn fig4_report(rc: &RunConfig, opts: &SweepOpts) -> String {
     let (t, _) = throughput_curves(
         &[
             ("W_CPU+IO-inventory 1 disk 1 CPU", 11),
             ("W_CPU+IO-inventory 4 disks 2 CPUs", 12),
         ],
+        &MPL_GRID,
         rc,
+        opts,
     );
     format!("Fig. 4 — effect of MPL on throughput, balanced workload\n{t}")
 }
 
 /// Fig. 5: throughput vs. MPL under heavy (RR) vs light (UR) locking.
-pub fn fig5_report(rc: &RunConfig) -> String {
-    let grid: Vec<u32> = vec![1, 2, 5, 10, 20, 40, 70, 100];
-    let mut rows = Vec::new();
-    for (label, id) in [
-        ("W_CPU-inventory RR", 1u32),
-        ("W_CPU-inventory UR", 17),
-        ("W_CPU-ordering 2cpu RR", 15),
-        ("W_CPU-ordering 2cpu UR", 16),
-    ] {
-        let d = Driver::new(setup(id)).with_config(rc.clone());
-        let results = d.throughput_curve(&grid);
-        let mut row = vec![format!("{label} (setup {id})")];
-        row.extend(results.iter().map(|r| f1(r.throughput)));
-        rows.push(row);
-    }
-    let mut headers: Vec<String> = vec!["curve".to_string()];
-    headers.extend(grid.iter().map(|m| format!("MPL {m}")));
-    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
-    format!(
-        "Fig. 5 — effect of MPL on throughput under heavy locking (RR) vs light (UR)\n{}",
-        table(&headers_ref, &rows)
-    )
+pub fn fig5_report(rc: &RunConfig, opts: &SweepOpts) -> String {
+    let (t, _) = throughput_curves(
+        &[
+            ("W_CPU-inventory RR", 1),
+            ("W_CPU-inventory UR", 17),
+            ("W_CPU-ordering 2cpu RR", 15),
+            ("W_CPU-ordering 2cpu UR", 16),
+        ],
+        &[1, 2, 5, 10, 20, 40, 70, 100],
+        rc,
+        opts,
+    );
+    format!("Fig. 5 — effect of MPL on throughput under heavy locking (RR) vs light (UR)\n{t}")
 }
 
 /// §3.2: squared coefficients of variation of the intrinsic demands —
@@ -205,28 +255,38 @@ pub fn c2_report() -> String {
 
 /// §3.2 (open system): mean response time vs. MPL at fixed load for a
 /// low-variability (TPC-C) and a high-variability (TPC-W) workload.
-pub fn rt_open_report(rc: &RunConfig) -> String {
+pub fn rt_open_report(rc: &RunConfig, opts: &SweepOpts) -> String {
     let mpls = [2u32, 4, 8, 15, 30, 100];
-    let mut rows = Vec::new();
-    for (label, id) in [("W_CPU-inventory (C2~1)", 1u32), ("W_CPU-browsing (C2~15)", 3)] {
+    let mut scenarios = Vec::new();
+    for (label, id) in [
+        ("W_CPU-inventory (C2~1)", 1u32),
+        ("W_CPU-browsing (C2~15)", 3),
+    ] {
+        let rc = rc_for(id, rc);
         for load in [0.7, 0.9] {
-            let d = Driver::new(setup(id)).with_config(rc_for(id, rc));
-            let capacity = d.reference().throughput;
-            let arr = ArrivalProcess::open(load * capacity);
-            let mut row = vec![format!("{label} load {load}")];
             for &m in &mpls {
-                let r = d.run(m, PolicyKind::Fifo, &arr);
-                row.push(ms(r.mean_rt));
+                scenarios.push(Scenario {
+                    row: format!("{label} load {load}"),
+                    col: format!("MPL {m}"),
+                    setup: setup(id),
+                    exec: ExecSpec::Run {
+                        mpl: MplSpec::Fixed(m),
+                        policy: PolicyKind::Fifo,
+                        arrivals: ArrivalSpec::OpenLoad(load),
+                    },
+                    rc: rc.clone(),
+                });
             }
-            rows.push(row);
         }
     }
-    let mut headers: Vec<String> = vec!["workload".to_string()];
-    headers.extend(mpls.iter().map(|m| format!("MPL {m} (ms)")));
-    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let results = opts.run(scenarios);
+    let cols: Vec<Col> = mpls
+        .iter()
+        .map(|m| Col::new(format!("MPL {m}"), "mean_rt", format!("MPL {m} (ms)"), ms))
+        .collect();
     format!(
         "§3.2 — open system (Poisson) mean response time vs MPL\n{}",
-        table(&headers_ref, &rows)
+        pivot_table("workload", &results, &cols)
     )
 }
 
@@ -342,180 +402,234 @@ pub fn fig10_report() -> String {
     out
 }
 
+/// One controller-session scenario (§4.3) on setup `id`.
+fn controller_scenario(
+    row: impl Into<String>,
+    col: impl Into<String>,
+    id: u32,
+    start: Option<u32>,
+    rc: &RunConfig,
+) -> Scenario {
+    Scenario {
+        row: row.into(),
+        col: col.into(),
+        setup: setup(id),
+        exec: ExecSpec::Controller {
+            targets: Targets::five_percent(),
+            start,
+        },
+        rc: rc_for(id, rc),
+    }
+}
+
 /// §4.3: controller sessions on a set of setups — jump-start value, final
 /// MPL, iterations to convergence (paper: < 10 everywhere).
-pub fn controller_report(rc: &RunConfig, ids: &[u32]) -> String {
-    let mut rows = Vec::new();
-    for &id in ids {
-        let d = Driver::new(setup(id)).with_config(rc_for(id, rc));
-        let out = d.run_controller(Targets::five_percent());
-        rows.push(vec![
-            id.to_string(),
-            out.jumpstart_mpl.to_string(),
-            out.final_mpl.to_string(),
-            out.iterations.to_string(),
-            out.converged.to_string(),
-            f1(out.reference_tput),
-        ]);
-    }
+pub fn controller_report(rc: &RunConfig, ids: &[u32], opts: &SweepOpts) -> String {
+    let scenarios: Vec<Scenario> = ids
+        .iter()
+        .map(|&id| controller_scenario(id.to_string(), "", id, None, rc))
+        .collect();
+    let results = opts.run(scenarios);
     format!(
         "§4.3 — controller convergence (5% targets)\n{}",
-        table(
-            &["setup", "jumpstart", "final MPL", "iterations", "converged", "ref tput"],
-            &rows,
+        pivot_table(
+            "setup",
+            &results,
+            &[
+                Col::metric("jumpstart_mpl", "jumpstart", f0),
+                Col::metric("final_mpl", "final MPL", f0),
+                Col::metric("iterations", "iterations", f1),
+                Col::metric("converged", "converged (frac)", f2),
+                Col::metric("reference_tput", "ref tput", f1),
+            ],
         )
     )
 }
 
 /// Jump-start ablation: iterations to convergence starting from the
 /// queueing-model value vs. cold-starting at MPL 1.
-pub fn controller_ablation_report(rc: &RunConfig, ids: &[u32]) -> String {
-    let mut rows = Vec::new();
-    for &id in ids {
-        let d = Driver::new(setup(id)).with_config(rc_for(id, rc));
-        let warm = d.run_controller_with_start(Targets::five_percent(), None);
-        let cold = d.run_controller_with_start(Targets::five_percent(), Some(1));
-        rows.push(vec![
-            id.to_string(),
-            warm.jumpstart_mpl.to_string(),
-            warm.iterations.to_string(),
-            cold.iterations.to_string(),
-        ]);
-    }
+pub fn controller_ablation_report(rc: &RunConfig, ids: &[u32], opts: &SweepOpts) -> String {
+    let scenarios: Vec<Scenario> = ids
+        .iter()
+        .flat_map(|&id| {
+            [
+                controller_scenario(id.to_string(), "jump", id, None, rc),
+                controller_scenario(id.to_string(), "cold", id, Some(1), rc),
+            ]
+        })
+        .collect();
+    let results = opts.run(scenarios);
     format!(
         "Ablation — controller iterations: queueing jump-start vs cold start at MPL 1\n{}",
-        table(&["setup", "jumpstart MPL", "iters (jumpstart)", "iters (cold)"], &rows)
+        pivot_table(
+            "setup",
+            &results,
+            &[
+                Col::new("jump", "jumpstart_mpl", "jumpstart MPL", f0),
+                Col::new("jump", "iterations", "iters (jumpstart)", f1),
+                Col::new("cold", "iterations", "iters (cold)", f1),
+            ],
+        )
     )
 }
 
 /// Fig. 11: external prioritization across all 17 setups at a given
 /// throughput-loss budget (0.05 for the top plot, 0.20 for the bottom).
-pub fn fig11_report(rc: &RunConfig, loss: f64) -> String {
-    let mut rows = Vec::new();
-    let mut diffs = Vec::new();
-    let mut penalties = Vec::new();
-    for id in 1..=17u32 {
-        let d = Driver::new(setup(id)).with_config(rc_for(id, rc));
-        let o = d.priority_experiment(loss);
-        diffs.push(o.differentiation());
-        penalties.push(o.low_penalty());
-        rows.push(vec![
-            id.to_string(),
-            o.mpl.to_string(),
-            f2(o.rt_high),
-            f2(o.rt_low),
-            f2(o.rt_noprio),
-            f2(o.rt_overall),
-            f1(o.differentiation()),
-            f2(o.low_penalty()),
-        ]);
-    }
+pub fn fig11_report(rc: &RunConfig, loss: f64, opts: &SweepOpts) -> String {
+    let scenarios: Vec<Scenario> = setup_ids()
+        .map(|id| Scenario {
+            row: id.to_string(),
+            col: String::new(),
+            setup: setup(id),
+            exec: ExecSpec::PriorityAtLoss { loss },
+            rc: rc_for(id, rc),
+        })
+        .collect();
+    let results = opts.run(scenarios);
+
+    let diffs: Vec<f64> = results.iter().map(|r| r.mean("differentiation")).collect();
+    let penalties: Vec<f64> = results.iter().map(|r| r.mean("low_penalty")).collect();
     let gmean = |v: &[f64]| -> f64 {
         (v.iter().map(|x| x.max(1e-9).ln()).sum::<f64>() / v.len() as f64).exp()
     };
     format!(
         "Fig. 11 — external prioritization, {}% throughput-loss budget\n{}\nmean differentiation (geo): {:.1}x   mean low-priority penalty: {:.2}x\n",
         (loss * 100.0) as u32,
-        table(
-            &["setup", "MPL", "high RT s", "low RT s", "no-prio RT s", "overall RT s", "low/high", "low/noprio"],
-            &rows,
+        pivot_table(
+            "setup",
+            &results,
+            &[
+                Col::metric("mpl", "MPL", f0),
+                Col::metric("rt_high", "high RT s", f2),
+                Col::metric("rt_low", "low RT s", f2),
+                Col::metric("rt_noprio", "no-prio RT s", f2),
+                Col::metric("mean_rt", "overall RT s", f2),
+                Col::metric("differentiation", "low/high", f1),
+                Col::metric("low_penalty", "low/noprio", f2),
+            ],
         ),
         gmean(&diffs),
         penalties.iter().sum::<f64>() / penalties.len() as f64,
     )
 }
 
-/// One internal-vs-external comparison row set (Figs. 12–13 bars).
+/// One internal-vs-external comparison row set (Figs. 12–13 bars): the
+/// DBMS-internal policy with no external limit, then external two-class
+/// priority at three throughput-loss budgets.
 fn internal_vs_external(
-    id: u32,
+    internal_setup: Setup,
     internal_label: &str,
-    mutate: impl Fn(&mut xsched_workload::Setup),
     rc: &RunConfig,
+    opts: &SweepOpts,
 ) -> String {
-    let mut rows = Vec::new();
-    // Internal prioritization: no external limit; DBMS-internal policy on.
+    let id = internal_setup.id;
     let rc = rc_for(id, rc);
-    let mut s_int = setup(id);
-    mutate(&mut s_int);
-    let d_int = Driver::new(s_int).with_config(rc.clone());
-    let clients = d_int.setup().clients;
-    let r = d_int.run(clients, PolicyKind::Fifo, &d_int.saturated());
-    rows.push(vec![
-        internal_label.to_string(),
-        f2(r.rt_high),
-        f2(r.rt_low),
-        f2(r.mean_rt),
-        f1(r.throughput),
-    ]);
-    // External prioritization at 5% / 20% / ~0% throughput-loss budgets.
-    let d_ext = Driver::new(setup(id)).with_config(rc.clone());
-    for (label, loss) in [("ext95", 0.05), ("ext80", 0.20), ("ext100", 0.01)] {
-        let (mpl, _) = d_ext.find_mpl_for_loss(loss);
-        let r = d_ext.run(mpl, PolicyKind::Priority, &d_ext.saturated());
-        rows.push(vec![
-            format!("{label} (MPL {mpl})"),
-            f2(r.rt_high),
-            f2(r.rt_low),
-            f2(r.mean_rt),
-            f1(r.throughput),
-        ]);
-    }
-    table(
-        &["scheme", "high RT s", "low RT s", "mean RT s", "tput"],
-        &rows,
+    let mut scenarios = vec![Scenario {
+        row: internal_label.to_string(),
+        col: String::new(),
+        setup: internal_setup,
+        exec: ExecSpec::Run {
+            mpl: MplSpec::Unlimited,
+            policy: PolicyKind::Fifo,
+            arrivals: ArrivalSpec::Saturated,
+        },
+        rc: rc.clone(),
+    }];
+    // Resolve each loss budget's MPL once (deterministic in (setup, rc))
+    // rather than per replication: repeating the search per seed would
+    // cost ~10 extra simulations per cell and could average runs resolved
+    // to different MPLs into one row.
+    let tuner = xsched_core::Driver::new(setup(id)).with_config(rc.clone());
+    scenarios.extend(
+        [("ext95", 0.05), ("ext80", 0.20), ("ext100", 0.01)].map(|(label, loss)| Scenario {
+            row: label.to_string(),
+            col: String::new(),
+            setup: setup(id),
+            exec: ExecSpec::Run {
+                mpl: MplSpec::Fixed(tuner.find_mpl_for_loss(loss).0),
+                policy: PolicyKind::Priority,
+                arrivals: ArrivalSpec::Saturated,
+            },
+            rc: rc.clone(),
+        }),
+    );
+    let results = opts.run(scenarios);
+    pivot_table(
+        "scheme",
+        &results,
+        &[
+            Col::metric("mpl", "MPL", f0),
+            Col::metric("rt_high", "high RT s", f2),
+            Col::metric("rt_low", "low RT s", f2),
+            Col::metric("mean_rt", "mean RT s", f2),
+            Col::metric("throughput", "tput", f1),
+        ],
     )
 }
 
 /// Fig. 12: internal lock-queue prioritization (POW) vs external
 /// scheduling on the lock-bound setup 1.
-pub fn fig12_report(rc: &RunConfig) -> String {
+pub fn fig12_report(rc: &RunConfig, opts: &SweepOpts) -> String {
     let t = internal_vs_external(
-        1,
+        setup(1).map_cfg(|c| c.lock_policy = LockPriorityPolicy::PreemptOnWait),
         "internal (POW locks)",
-        |s| s.cfg.lock_policy = LockPriorityPolicy::PreemptOnWait,
         rc,
+        opts,
     );
     format!("Fig. 12 — internal (POW) vs external prioritization, setup 1 (lock-bound)\n{t}")
 }
 
 /// Fig. 13: internal CPU prioritization (renice) vs external scheduling on
 /// the CPU-bound setup 3.
-pub fn fig13_report(rc: &RunConfig) -> String {
+pub fn fig13_report(rc: &RunConfig, opts: &SweepOpts) -> String {
     let t = internal_vs_external(
-        3,
+        setup(3).map_cfg(|c| c.cpu_policy = CpuPolicy::PrioritizeHigh),
         "internal (CPU prio)",
-        |s| s.cfg.cpu_policy = CpuPolicy::PrioritizeHigh,
         rc,
+        opts,
     );
     format!("Fig. 13 — internal (CPU) vs external prioritization, setup 3 (CPU-bound)\n{t}")
 }
 
-/// Ablation: external queue policies at a fixed MPL — FIFO vs two-class
-/// priority vs SJF (mean and per-class response times).
-pub fn policy_ablation_report(rc: &RunConfig) -> String {
-    let d = Driver::new(setup(1)).with_config(rc.clone());
-    let (mpl, _) = d.find_mpl_for_loss(0.05);
-    let mut rows = Vec::new();
-    for (label, kind) in [
+/// Ablation: external queue policies at the 5%-loss MPL — FIFO vs
+/// two-class priority vs SJF (mean and per-class response times).
+pub fn policy_ablation_report(rc: &RunConfig, opts: &SweepOpts) -> String {
+    // The MPL search is deterministic in (setup, rc), so resolve it once
+    // and pin the scenarios to the result instead of paying the
+    // exponential+binary search in every policy × replication cell.
+    let (mpl, _) = xsched_core::Driver::new(setup(1))
+        .with_config(rc.clone())
+        .find_mpl_for_loss(0.05);
+    let scenarios: Vec<Scenario> = [
         ("FIFO", PolicyKind::Fifo),
         ("Priority", PolicyKind::Priority),
         ("SJF", PolicyKind::Sjf),
-    ] {
-        let r = d.run(mpl, kind, &d.saturated());
-        rows.push(vec![
-            label.to_string(),
-            f2(r.mean_rt),
-            f2(r.rt_high),
-            f2(r.rt_low),
-            f2(r.p95_rt),
-            f1(r.throughput),
-        ]);
-    }
+    ]
+    .map(|(label, kind)| Scenario {
+        row: label.to_string(),
+        col: String::new(),
+        setup: setup(1),
+        exec: ExecSpec::Run {
+            mpl: MplSpec::Fixed(mpl),
+            policy: kind,
+            arrivals: ArrivalSpec::Saturated,
+        },
+        rc: rc.clone(),
+    })
+    .into();
+    let results = opts.run(scenarios);
     format!(
-        "Ablation — external queue policies at MPL {mpl} (setup 1)\n{}",
-        table(
-            &["policy", "mean RT s", "high RT s", "low RT s", "p95 RT s", "tput"],
-            &rows,
+        "Ablation — external queue policies at the 5%-loss MPL ({mpl}) on setup 1\n{}",
+        pivot_table(
+            "policy",
+            &results,
+            &[
+                Col::metric("mean_rt", "mean RT s", f2),
+                Col::metric("rt_high", "high RT s", f2),
+                Col::metric("rt_low", "low RT s", f2),
+                Col::metric("p95_rt", "p95 RT s", f2),
+                Col::metric("throughput", "tput", f1),
+            ],
         )
     )
 }
@@ -523,51 +637,51 @@ pub fn policy_ablation_report(rc: &RunConfig) -> String {
 /// Ablation over the DBMS substrate features: group commit, asynchronous
 /// dirty-page write-back, and deadlock timeout vs detection — all on the
 /// lock-bound setup 1 at a fixed moderate MPL.
-pub fn dbms_ablation_report(rc: &RunConfig) -> String {
+pub fn dbms_ablation_report(rc: &RunConfig, opts: &SweepOpts) -> String {
     use xsched_dbms::DeadlockStrategy;
-    type Mutator = Box<dyn Fn(&mut xsched_workload::Setup)>;
     let mpl = 10;
-    let mut rows = Vec::new();
-    let variants: Vec<(&str, Mutator)> = vec![
-        ("baseline", Box::new(|_s: &mut xsched_workload::Setup| {})),
-        (
-            "group commit",
-            Box::new(|s: &mut xsched_workload::Setup| s.cfg.group_commit = true),
-        ),
+    let variants: Vec<(&str, Setup)> = vec![
+        ("baseline", setup(1)),
+        ("group commit", setup(1).map_cfg(|c| c.group_commit = true)),
         (
             // 5% of touched pages ≈ 0.7 disk utilization at this
             // throughput; higher fractions would saturate the single
             // data disk with background writes.
             "writeback 5%",
-            Box::new(|s: &mut xsched_workload::Setup| s.cfg.writeback_fraction = 0.05),
+            setup(1).map_cfg(|c| c.writeback_fraction = 0.05),
         ),
         (
             "lock timeout 0.5s",
-            Box::new(|s: &mut xsched_workload::Setup| {
-                s.cfg.deadlock = DeadlockStrategy::Timeout { timeout: 0.5 }
-            }),
+            setup(1).map_cfg(|c| c.deadlock = DeadlockStrategy::Timeout { timeout: 0.5 }),
         ),
     ];
-    for (label, mutate) in variants {
-        let mut st = setup(1);
-        mutate(&mut st);
-        let d = Driver::new(st).with_config(rc.clone());
-        let r = d.run(mpl, PolicyKind::Fifo, &d.saturated());
-        rows.push(vec![
-            label.to_string(),
-            f1(r.throughput),
-            f2(r.mean_rt),
-            f3(r.aborts_per_txn),
-            f2(r.metrics.log_utilization()),
-            f2(r.metrics.disk_utilization()),
-        ]);
-    }
+    let scenarios: Vec<Scenario> = variants
+        .into_iter()
+        .map(|(label, st)| Scenario {
+            row: label.to_string(),
+            col: String::new(),
+            setup: st,
+            exec: ExecSpec::Run {
+                mpl: MplSpec::Fixed(mpl),
+                policy: PolicyKind::Fifo,
+                arrivals: ArrivalSpec::Saturated,
+            },
+            rc: rc.clone(),
+        })
+        .collect();
+    let results = opts.run(scenarios);
     format!(
-        "Ablation — DBMS substrate features (setup 1, MPL {mpl})
-{}",
-        table(
-            &["variant", "tput", "mean RT s", "aborts/txn", "log util", "disk util"],
-            &rows,
+        "Ablation — DBMS substrate features (setup 1, MPL {mpl})\n{}",
+        pivot_table(
+            "variant",
+            &results,
+            &[
+                Col::metric("throughput", "tput", f1),
+                Col::metric("mean_rt", "mean RT s", f2),
+                Col::metric("aborts_per_txn", "aborts/txn", f3),
+                Col::metric("log_util", "log util", f2),
+                Col::metric("disk_util", "disk util", f2),
+            ],
         )
     )
 }
@@ -588,8 +702,7 @@ pub fn qbd_crosscheck_report() -> String {
             ms(tr.mean_response_time),
             format!(
                 "{:.2e}",
-                (qbd.mean_response_time - tr.mean_response_time).abs()
-                    / tr.mean_response_time
+                (qbd.mean_response_time - tr.mean_response_time).abs() / tr.mean_response_time
             ),
             qbd.r_iterations.to_string(),
         ]);
@@ -609,7 +722,14 @@ mod tests {
 
     #[test]
     fn static_reports_render() {
-        for r in [table1_report(), table2_report(), c2_report(), fig7_report(), fig10_report(), qbd_crosscheck_report()] {
+        for r in [
+            table1_report(),
+            table2_report(),
+            c2_report(),
+            fig7_report(),
+            fig10_report(),
+            qbd_crosscheck_report(),
+        ] {
             assert!(r.lines().count() >= 4, "report too short:\n{r}");
         }
     }
@@ -644,7 +764,26 @@ mod tests {
             measured_txns: 300,
             ..Default::default()
         };
-        let r = throughput_curves(&[("s1", 1)], &rc).0;
+        let opts = SweepOpts::default();
+        let (r, curves) = throughput_curves(&[("s1", 1)], &[1, 5], &rc, &opts);
         assert!(r.contains("MPL"));
+        assert_eq!(curves.len(), 1);
+        assert_eq!(curves[0].len(), 2);
+        assert!(curves[0][1] > curves[0][0], "MPL 5 beats MPL 1");
+    }
+
+    #[test]
+    fn replicated_sweep_reports_confidence_intervals() {
+        let rc = RunConfig {
+            warmup_txns: 30,
+            measured_txns: 150,
+            ..Default::default()
+        };
+        let opts = SweepOpts {
+            seeds: vec![42, 43, 44],
+            threads: 0,
+        };
+        let (r, _) = throughput_curves(&[("s1", 1)], &[5], &rc, &opts);
+        assert!(r.contains('±'), "replicated table must carry CIs:\n{r}");
     }
 }

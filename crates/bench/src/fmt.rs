@@ -31,6 +31,11 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
+/// Format a float with no decimals (integer-valued metrics like MPLs).
+pub fn f0(x: f64) -> String {
+    format!("{x:.0}")
+}
+
 /// Format a float with 1 decimal.
 pub fn f1(x: f64) -> String {
     format!("{x:.1}")
@@ -59,10 +64,7 @@ mod tests {
     fn table_aligns_columns() {
         let t = table(
             &["a", "long"],
-            &[
-                vec!["1".into(), "2".into()],
-                vec!["100".into(), "x".into()],
-            ],
+            &[vec!["1".into(), "2".into()], vec!["100".into(), "x".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
@@ -80,6 +82,7 @@ mod tests {
 
     #[test]
     fn number_formats() {
+        assert_eq!(f0(9.7), "10");
         assert_eq!(f1(1.25), "1.2");
         assert_eq!(f2(1.256), "1.26");
         assert_eq!(f3(0.12345), "0.123");

@@ -1,0 +1,244 @@
+#![warn(missing_docs)]
+//! Offline mini benchmark harness with a `criterion`-shaped API.
+//!
+//! The workspace builds without crates.io access, so this crate implements
+//! the subset of `criterion` the `xsched-bench` benchmarks use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`black_box`],
+//! and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple: warm up, then time batches of
+//! iterations until a fixed wall-clock budget is spent, and report the
+//! per-iteration mean and minimum. There is no statistical regression
+//! machinery — swap the real criterion in when network access allows and
+//! the bench sources compile unchanged.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group: a name plus a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("setup1", mpl)` renders as `setup1/<mpl>`.
+    pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    /// Total measurement budget for this benchmark.
+    budget: Duration,
+    /// (label, mean seconds/iter, min seconds/iter, iterations) collected.
+    result: Option<(f64, f64, u64)>,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Bencher {
+        Bencher {
+            budget,
+            result: None,
+        }
+    }
+
+    /// Run `f` repeatedly within the measurement budget and record
+    /// per-iteration timing.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: one call, also used to size batches.
+        let t0 = Instant::now();
+        black_box(f());
+        let probe = t0.elapsed().max(Duration::from_nanos(50));
+        let batch =
+            (Duration::from_millis(5).as_nanos() / probe.as_nanos()).clamp(1, 100_000) as u64;
+
+        let mut iters = 0u64;
+        let mut total = Duration::ZERO;
+        let mut min_batch = f64::INFINITY;
+        while total < self.budget {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t.elapsed();
+            min_batch = min_batch.min(dt.as_secs_f64() / batch as f64);
+            total += dt;
+            iters += batch;
+        }
+        let mean = total.as_secs_f64() / iters as f64;
+        self.result = Some((mean, min_batch, iters));
+    }
+}
+
+fn report(label: &str, b: &Bencher) {
+    match b.result {
+        Some((mean, min, iters)) => println!(
+            "{label:<40} mean {:>12}  min {:>12}  ({iters} iters)",
+            fmt_time(mean),
+            fmt_time(min),
+        ),
+        None => println!("{label:<40} (no measurement)"),
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    budget: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's budget is wall-clock
+    /// based, so the sample count only nudges the budget downward.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Fewer samples requested => the caller expects a slow benchmark;
+        // keep the default budget. (Real criterion semantics differ, but
+        // callers only use this to shorten runs.)
+        let _ = n;
+        self
+    }
+
+    /// Benchmark a closure that receives an input by reference.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.budget);
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.name), &b);
+        self
+    }
+
+    /// Benchmark a plain closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.budget);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.into().name), &b);
+        self
+    }
+
+    /// End the group (printing is done per-benchmark; this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            budget: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        let budget = self.budget;
+        BenchmarkGroup {
+            name: name.to_string(),
+            budget,
+            _parent: self,
+        }
+    }
+
+    /// Benchmark a single closure.
+    pub fn bench_function<F>(&mut self, name: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.budget);
+        f(&mut b);
+        report(&name.into().name, &b);
+        self
+    }
+}
+
+/// Bundle benchmark functions, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_timing() {
+        let mut b = Bencher::new(Duration::from_millis(10));
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        let (mean, min, iters) = b.result.expect("measured");
+        assert!(iters > 0 && mean > 0.0 && min > 0.0 && min <= mean * 1.01);
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-6).ends_with(" µs"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
+    }
+}

@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+//! Offline stand-in for `serde`.
+//!
+//! The workspace builds in an environment without crates.io access, so
+//! this crate supplies the two trait names the codebase derives
+//! (`Serialize`, `Deserialize`) as marker traits plus the matching derive
+//! macros from the sibling `serde_derive` stub. No serialization is
+//! performed anywhere yet; the derives exist so experiment-description
+//! types keep a serde-shaped API surface that the real crate can slot
+//! into later without touching call sites. Human-readable encoding of
+//! sweep plans is done by hand (see `xsched_core::scenario`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the stub).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>` (no methods in the stub).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,60 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the real `serde` cannot be vendored. Nothing in the workspace performs
+//! wire serialization yet — the derives only mark experiment-description
+//! types (`Scenario`, `RunConfig`, ...) as serializable so a future PR can
+//! swap the real `serde` in without touching call sites. These derives
+//! parse just enough of the item to emit a marker-trait impl:
+//! `impl serde::Serialize for T {}` / `impl<'de> serde::Deserialize<'de> for T {}`.
+//!
+//! Limitations (deliberate, asserted at compile time): no generic types,
+//! no `#[serde(...)]` attributes.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the type name following the `struct`/`enum`/`union` keyword and
+/// reject generic parameter lists (the workspace derives only on concrete
+/// types; supporting generics without `syn` is not worth the complexity).
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => panic!("serde stub derive: expected type name, got {other:?}"),
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                    if p.as_char() == '<' {
+                        panic!(
+                            "serde stub derive: generic type `{name}` unsupported; \
+                             vendor the real serde or hand-write the impl"
+                        );
+                    }
+                }
+                return name;
+            }
+        }
+    }
+    panic!("serde stub derive: no struct/enum/union found");
+}
+
+/// Derive a marker `serde::Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("serde stub derive: generated impl must parse")
+}
+
+/// Derive a marker `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("serde stub derive: generated impl must parse")
+}

@@ -16,7 +16,7 @@
 //! matching the paper's report.
 
 use serde::Serialize;
-use xsched_queueing::{recommend, H2, ThroughputModel};
+use xsched_queueing::{recommend, ThroughputModel, H2};
 use xsched_sim::Welford;
 
 /// DBA-specified tolerance for running below the unthrottled system.
@@ -387,7 +387,11 @@ mod tests {
         let mut t = 0.0;
         let mut last = None;
         for _ in 0..15 {
-            let (tput, rt) = if c.mpl() >= 5 { (99.0, 1.0) } else { (80.0, 1.5) };
+            let (tput, rt) = if c.mpl() >= 5 {
+                (99.0, 1.0)
+            } else {
+                (80.0, 1.5)
+            };
             let (end, d) = feed_window(&mut c, t, 120, tput, rt);
             t = end;
             last = d.or(last);
@@ -407,7 +411,11 @@ mod tests {
             let mut c = MplController::new(ControllerConfig::default(), reference(), start);
             let mut t = 0.0;
             for _ in 0..20 {
-                let (tput, rt) = if c.mpl() >= 5 { (99.0, 1.0) } else { (80.0, 1.5) };
+                let (tput, rt) = if c.mpl() >= 5 {
+                    (99.0, 1.0)
+                } else {
+                    (80.0, 1.5)
+                };
                 let (end, d) = feed_window(&mut c, t, 120, tput, rt);
                 t = end;
                 if matches!(d, Some(Decision::Converged(_))) {
@@ -478,16 +486,12 @@ mod tests {
             8.0,
             100,
         );
-        assert!(j >= 10, "4 balanced resources at 95% need ~3/0.05 ≈ 57? got {j}");
-        // One resource + huge C²: the response-time bound dominates.
-        let j2 = MplController::jumpstart(
-            &[0.9],
-            Targets::five_percent(),
-            0.1,
-            15.0,
-            7.0,
-            100,
+        assert!(
+            j >= 10,
+            "4 balanced resources at 95% need ~3/0.05 ≈ 57? got {j}"
         );
+        // One resource + huge C²: the response-time bound dominates.
+        let j2 = MplController::jumpstart(&[0.9], Targets::five_percent(), 0.1, 15.0, 7.0, 100);
         assert!(j2 >= 5, "C2=15 needs a two-digit MPL, got {j2}");
     }
 

@@ -267,9 +267,8 @@ impl Driver {
         let reference = self.reference();
         let target = (1.0 - loss) * reference.throughput;
         let arr = self.saturated();
-        let feasible = |mpl: u32| -> bool {
-            self.run(mpl, PolicyKind::Fifo, &arr).throughput >= target
-        };
+        let feasible =
+            |mpl: u32| -> bool { self.run(mpl, PolicyKind::Fifo, &arr).throughput >= target };
         let cap = self.setup.clients;
         // Exponential probe upward.
         let mut hi = 1u32;
@@ -280,7 +279,7 @@ impl Driver {
             return (1, reference);
         }
         let mut lo = hi / 2; // known infeasible (or 0)
-        // Binary search the boundary in (lo, hi].
+                             // Binary search the boundary in (lo, hi].
         while hi - lo > 1 {
             let mid = lo + (hi - lo) / 2;
             if feasible(mid) {
@@ -332,8 +331,7 @@ impl Driver {
         // Demand statistics for the response-time model: analytic mix C²,
         // with the effective page cost discounted by the observed hit
         // ratio.
-        let io_cost =
-            self.setup.hw.disk_read_time * (1.0 - reference.metrics.hit_ratio());
+        let io_cost = self.setup.hw.disk_read_time * (1.0 - reference.metrics.hit_ratio());
         let (dmean, dc2) = self.setup.workload.intrinsic_demand_stats(io_cost);
         let cfg = ControllerConfig {
             targets,
@@ -390,8 +388,8 @@ impl Driver {
             // steady-state-hot set.
             sim.warm_bufferpool((0..n).rev().map(PageId));
         }
-        let mut gen = TxnGen::new(setup.workload.clone(), rc.seed)
-            .with_high_fraction(rc.high_fraction);
+        let mut gen =
+            TxnGen::new(setup.workload.clone(), rc.seed).with_high_fraction(rc.high_fraction);
         let mut sched = ExternalScheduler::new(self.make_policy(kind), mpl);
         let mut arr_rng = SimRng::derive(rc.seed, "arrivals");
 
@@ -441,10 +439,7 @@ impl Driver {
                     }
                     if let ArrivalProcess::Open { .. } = arrivals {
                         let d = arrivals.next_delay(&mut arr_rng);
-                        sim.schedule_external(
-                            SimTime::from_secs_f64(sim.now() + d),
-                            0,
-                        );
+                        sim.schedule_external(SimTime::from_secs_f64(sim.now() + d), 0);
                     }
                 }
                 StepOutcome::Advanced => {
@@ -457,10 +452,7 @@ impl Driver {
                         sched.complete();
                         if arrivals.is_closed() {
                             let d = arrivals.next_delay(&mut arr_rng);
-                            sim.schedule_external(
-                                SimTime::from_secs_f64(sim.now() + d),
-                                0,
-                            );
+                            sim.schedule_external(SimTime::from_secs_f64(sim.now() + d), 0);
                         }
                         if !measuring
                             && completed >= rc.warmup_txns
@@ -548,7 +540,10 @@ mod tests {
         let x1 = curve[0].throughput;
         let x5 = curve[2].throughput;
         let x20 = curve[3].throughput;
-        assert!(x5 > 1.5 * x1, "MPL 5 should beat MPL 1 clearly: {x1} vs {x5}");
+        assert!(
+            x5 > 1.5 * x1,
+            "MPL 5 should beat MPL 1 clearly: {x1} vs {x5}"
+        );
         assert!(
             (x20 - x5).abs() / x5 < 0.25,
             "MPL 20 is near the plateau: {x5} vs {x20}"
@@ -586,7 +581,11 @@ mod tests {
         let (mpl, reference) = d.find_mpl_for_loss(0.20);
         assert!((1..100).contains(&mpl));
         let at = d.run(mpl, PolicyKind::Fifo, &d.saturated()).throughput;
-        assert!(at >= 0.78 * reference.throughput, "{at} vs {}", reference.throughput);
+        assert!(
+            at >= 0.78 * reference.throughput,
+            "{at} vs {}",
+            reference.throughput
+        );
     }
 
     #[test]
@@ -594,7 +593,11 @@ mod tests {
         let d = quick_driver(1);
         let out = d.run_controller(Targets::twenty_percent());
         assert!(out.converged, "controller failed to converge: {out:?}");
-        assert!(out.iterations < 10, "paper bound: {} iterations", out.iterations);
+        assert!(
+            out.iterations < 10,
+            "paper bound: {} iterations",
+            out.iterations
+        );
         assert!(out.final_mpl >= 1);
     }
 
@@ -617,15 +620,26 @@ mod tests {
 
     #[test]
     fn weighted_fair_sits_between_fifo_and_strict_priority() {
+        // At the paper's 10% high-priority fraction the high class rarely
+        // saturates its 50% dispatch share, so WF ≈ strict for the low
+        // class — the orderings are only identifiable in the regimes that
+        // exercise them. High-class ordering at 10% high traffic:
         let d = quick_driver(1);
         let arr = d.saturated();
         let fifo = d.run(3, PolicyKind::Fifo, &arr);
         let wf = d.run(3, PolicyKind::WeightedFair, &arr);
         let strict = d.run(3, PolicyKind::Priority, &arr);
-        // High-priority response time: strict < weighted-fair < FIFO.
         assert!(strict.rt_high < wf.rt_high, "strict beats WF for high");
         assert!(wf.rt_high < fifo.rt_high, "WF beats FIFO for high");
-        // And weighted-fair penalizes the low class less than strict.
+        // Low-class protection at 50% high traffic, where strict priority
+        // actually starves the low class and WF's guaranteed share bites.
+        let rc = RunConfig {
+            high_fraction: 0.5,
+            ..RunConfig::quick()
+        };
+        let d = Driver::new(xsched_workload::setup(1)).with_config(rc);
+        let wf = d.run(3, PolicyKind::WeightedFair, &arr);
+        let strict = d.run(3, PolicyKind::Priority, &arr);
         assert!(wf.rt_low < strict.rt_low, "WF kinder to low than strict");
     }
 

@@ -19,16 +19,26 @@
 //! * [`driver`] — the experiment driver marrying a workload generator, the
 //!   external scheduler and the simulated DBMS; implements every
 //!   experiment shape the paper reports (throughput curves, open-system
-//!   response times, priority differentiation, controller convergence).
+//!   response times, priority differentiation, controller convergence);
+//! * [`scenario`] — serializable, self-contained experiment descriptions:
+//!   a [`Scenario`] is one cell of a figure (setup × execution shape ×
+//!   run configuration), pure in `(scenario, seed)`;
+//! * [`sweep`] — [`SweepPlan`] (scenarios × replication seeds) and the
+//!   multi-threaded [`SweepExecutor`], bit-identical to serial execution
+//!   and feeding Student-t confidence intervals from replications.
 
 pub mod controller;
 pub mod driver;
 pub mod gate;
 pub mod policy;
+pub mod scenario;
 pub mod scheduler;
+pub mod sweep;
 
 pub use controller::{ControllerConfig, Decision, MplController, Reference, Targets};
 pub use driver::{ControllerOutcome, Driver, PolicyKind, PriorityOutcome, RunConfig, RunResult};
 pub use gate::MplGate;
 pub use policy::{Fifo, PriorityFifo, QueuePolicy, QueuedTxn, Sjf, WeightedFair};
+pub use scenario::{ArrivalSpec, ExecSpec, MplSpec, Scenario, ScenarioOutcome};
 pub use scheduler::ExternalScheduler;
+pub use sweep::{ScenarioResult, SweepExecutor, SweepPlan};

@@ -314,8 +314,7 @@ mod tests {
             q.push(txn(Priority::High, 0.001, i as f64));
             q.push(txn(Priority::Low, 0.001, 1000.0 + i as f64));
         }
-        let popped: Vec<f64> =
-            std::iter::from_fn(|| q.pop().map(|t| t.arrival)).collect();
+        let popped: Vec<f64> = std::iter::from_fn(|| q.pop().map(|t| t.arrival)).collect();
         assert_eq!(popped.len(), 20, "everything is eventually served");
         assert!(popped[..10].iter().any(|a| *a >= 1000.0), "low not starved");
     }

@@ -1,0 +1,284 @@
+//! Sweep planning and parallel execution.
+//!
+//! A [`SweepPlan`] is a list of [`Scenario`]s crossed with replication
+//! seeds; the [`SweepExecutor`] fans the resulting `(scenario, seed)`
+//! tasks across OS threads. Because every task is a pure function of its
+//! inputs (see [`Scenario::run`]) and results land in slots indexed by
+//! task id, the output is **bit-identical** regardless of thread count or
+//! scheduling order — parallelism buys wall-clock time, never changes a
+//! number. Replications of one scenario are aggregated into a
+//! [`Replications`] accumulator so reports can print Student-t confidence
+//! intervals next to every mean.
+
+use crate::scenario::{Scenario, ScenarioOutcome};
+use serde::Serialize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use xsched_sim::{ConfidenceInterval, Replications};
+
+/// Scenarios × replication seeds: the unit of execution.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepPlan {
+    /// The experiment cells.
+    pub scenarios: Vec<Scenario>,
+    /// Explicit replication seeds: every scenario runs once per seed, and
+    /// sharing the list across scenarios keeps cross-scenario comparisons
+    /// paired (common random numbers). **Empty** means each scenario runs
+    /// once with its own configured `rc.seed`.
+    pub seeds: Vec<u64>,
+}
+
+impl SweepPlan {
+    /// A plan running each scenario once, with each scenario's own
+    /// configured seed.
+    pub fn new(scenarios: Vec<Scenario>) -> SweepPlan {
+        SweepPlan {
+            scenarios,
+            seeds: Vec::new(),
+        }
+    }
+
+    /// Replace the seed list (empty = revert to per-scenario seeds).
+    pub fn with_seeds(mut self, seeds: Vec<u64>) -> SweepPlan {
+        self.seeds = seeds;
+        self
+    }
+
+    /// `n` replications seeded `base, base+1, ...` — distinct consecutive
+    /// seeds are independent because every consumer stream hashes
+    /// `(seed, label)` through SplitMix64.
+    pub fn replicated(self, n: usize, base: u64) -> SweepPlan {
+        assert!(n > 0, "a sweep needs at least one replication");
+        let seeds = (0..n as u64).map(|i| base.wrapping_add(i)).collect();
+        self.with_seeds(seeds)
+    }
+
+    /// The `(scenario index, seed)` tasks this plan expands to.
+    fn tasks(&self) -> Vec<(usize, u64)> {
+        if self.seeds.is_empty() {
+            self.scenarios
+                .iter()
+                .enumerate()
+                .map(|(si, s)| (si, s.rc.seed))
+                .collect()
+        } else {
+            self.scenarios
+                .iter()
+                .enumerate()
+                .flat_map(|(si, _)| self.seeds.iter().map(move |&seed| (si, seed)))
+                .collect()
+        }
+    }
+
+    /// Number of `(scenario, seed)` tasks this plan expands to.
+    pub fn task_count(&self) -> usize {
+        self.scenarios.len() * self.seeds.len().max(1)
+    }
+
+    /// True when the plan has no scenarios.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+}
+
+/// All replications of one scenario, plus aggregate statistics.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// The scenario that produced these outcomes.
+    pub scenario: Scenario,
+    /// One outcome per plan seed, in seed order.
+    pub outcomes: Vec<ScenarioOutcome>,
+    /// Per-metric aggregates over the replications.
+    pub reps: Replications,
+}
+
+impl ScenarioResult {
+    /// The first replication's outcome (the representative run when the
+    /// caller only wants point values).
+    pub fn first(&self) -> &ScenarioOutcome {
+        &self.outcomes[0]
+    }
+
+    /// Mean of a named metric over replications.
+    pub fn mean(&self, metric: &str) -> f64 {
+        self.reps.mean(metric)
+    }
+
+    /// 95% Student-t confidence interval for a named metric.
+    pub fn ci95(&self, metric: &str) -> ConfidenceInterval {
+        self.reps.ci(metric, 0.95)
+    }
+}
+
+/// Fans a [`SweepPlan`]'s tasks across OS threads.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepExecutor {
+    threads: usize,
+}
+
+impl SweepExecutor {
+    /// Run everything on the calling thread, in plan order.
+    pub fn serial() -> SweepExecutor {
+        SweepExecutor { threads: 1 }
+    }
+
+    /// Use `threads` workers; `0` means one per available core.
+    pub fn parallel(threads: usize) -> SweepExecutor {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            threads
+        };
+        SweepExecutor { threads }
+    }
+
+    /// Worker count this executor will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Execute the plan and aggregate replications per scenario.
+    ///
+    /// Tasks are claimed from a shared counter and their outcomes stored
+    /// by task index, so the assembled results — and every float in them —
+    /// are identical whether `threads` is 1 or 64.
+    pub fn run(&self, plan: &SweepPlan) -> Vec<ScenarioResult> {
+        let tasks = plan.tasks();
+
+        let slots: Vec<Mutex<Option<ScenarioOutcome>>> =
+            tasks.iter().map(|_| Mutex::new(None)).collect();
+
+        if self.threads <= 1 || tasks.len() <= 1 {
+            for (t, slot) in tasks.iter().zip(&slots) {
+                let (si, seed) = *t;
+                *slot.lock().unwrap() = Some(plan.scenarios[si].run(seed));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let workers = self.threads.min(tasks.len());
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(si, seed)) = tasks.get(i) else {
+                            break;
+                        };
+                        let outcome = plan.scenarios[si].run(seed);
+                        *slots[i].lock().unwrap() = Some(outcome);
+                    });
+                }
+            });
+        }
+
+        let mut outcomes: Vec<Vec<ScenarioOutcome>> =
+            plan.scenarios.iter().map(|_| Vec::new()).collect();
+        for (&(si, _), slot) in tasks.iter().zip(slots) {
+            let outcome = slot
+                .into_inner()
+                .unwrap()
+                .expect("every sweep task produces an outcome");
+            outcomes[si].push(outcome);
+        }
+
+        plan.scenarios
+            .iter()
+            .zip(outcomes)
+            .map(|(scenario, outcomes)| {
+                let mut reps = Replications::new();
+                for o in &outcomes {
+                    for (k, v) in o.metrics() {
+                        reps.push(k, v);
+                    }
+                }
+                ScenarioResult {
+                    scenario: scenario.clone(),
+                    outcomes,
+                    reps,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::RunConfig;
+    use xsched_workload::setup;
+
+    fn quick_plan() -> SweepPlan {
+        let rc = RunConfig {
+            warmup_txns: 50,
+            measured_txns: 250,
+            ..Default::default()
+        };
+        let scenarios = [1u32, 3, 7]
+            .iter()
+            .map(|&m| Scenario::tput("s1", setup(1), m, rc.clone()))
+            .collect();
+        SweepPlan::new(scenarios).replicated(3, 42)
+    }
+
+    /// The determinism regression test: parallel execution must be
+    /// bit-identical to serial for the same `(scenario, seed)` grid.
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        let plan = quick_plan();
+        let serial = SweepExecutor::serial().run(&plan);
+        let parallel = SweepExecutor::parallel(4).run(&plan);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.outcomes.len(), p.outcomes.len());
+            for (a, b) in s.outcomes.iter().zip(&p.outcomes) {
+                let (a, b) = (a.as_run().unwrap(), b.as_run().unwrap());
+                assert_eq!(a.throughput.to_bits(), b.throughput.to_bits());
+                assert_eq!(a.mean_rt.to_bits(), b.mean_rt.to_bits());
+                assert_eq!(a.p95_rt.to_bits(), b.p95_rt.to_bits());
+                assert_eq!(a.mean_lock_wait.to_bits(), b.mean_lock_wait.to_bits());
+            }
+            assert_eq!(
+                s.mean("throughput").to_bits(),
+                p.mean("throughput").to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn replications_produce_finite_confidence_intervals() {
+        let results = SweepExecutor::parallel(0).run(&quick_plan());
+        for r in &results {
+            assert_eq!(r.outcomes.len(), 3);
+            let ci = r.ci95("throughput");
+            assert!(ci.mean > 0.0);
+            assert!(ci.half_width.is_finite(), "3 reps give a finite t CI");
+        }
+    }
+
+    #[test]
+    fn plan_expansion_counts_tasks() {
+        let plan = quick_plan();
+        assert_eq!(plan.task_count(), 9);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.seeds, vec![42, 43, 44]);
+    }
+
+    #[test]
+    fn empty_seed_list_uses_each_scenarios_own_seed() {
+        let mut plan = quick_plan().with_seeds(vec![]);
+        plan.scenarios[1].rc.seed = 7;
+        assert_eq!(plan.task_count(), 3);
+        let results = SweepExecutor::serial().run(&plan);
+        // Scenario 1 ran under its own configured seed, not scenario 0's.
+        let own = plan.scenarios[1].run(7);
+        assert_eq!(
+            results[1].first().as_run().unwrap().throughput.to_bits(),
+            own.as_run().unwrap().throughput.to_bits()
+        );
+        // And differently-seeded scenarios really saw different streams.
+        let other = plan.scenarios[1].run(plan.scenarios[0].rc.seed);
+        assert_ne!(
+            results[1].first().as_run().unwrap().throughput.to_bits(),
+            other.as_run().unwrap().throughput.to_bits()
+        );
+    }
+}

@@ -86,7 +86,11 @@ impl CpuBank {
                     .values()
                     .filter(|j| j.priority == Priority::High)
                     .count() as f64;
-                let high_rate = if h > 0.0 { (self.cpus / h).min(1.0) } else { 0.0 };
+                let high_rate = if h > 0.0 {
+                    (self.cpus / h).min(1.0)
+                } else {
+                    0.0
+                };
                 match prio {
                     Priority::High => high_rate,
                     Priority::Low => {

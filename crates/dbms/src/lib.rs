@@ -33,7 +33,9 @@ pub mod metrics;
 pub mod sim;
 pub mod txn;
 
-pub use config::{CpuPolicy, DbmsConfig, DeadlockStrategy, HardwareConfig, IsolationLevel, LockPriorityPolicy};
+pub use config::{
+    CpuPolicy, DbmsConfig, DeadlockStrategy, HardwareConfig, IsolationLevel, LockPriorityPolicy,
+};
 pub use metrics::{Completion, DbmsMetrics};
 pub use sim::{DbmsSim, StepOutcome};
 pub use txn::{ItemId, LockMode, PageId, Priority, Step, TxnBody, TxnId};

@@ -54,7 +54,10 @@ struct LockState {
 
 impl LockState {
     fn holds(&self, txn: TxnId) -> Option<LockMode> {
-        self.holders.iter().find(|(t, _)| *t == txn).map(|(_, m)| *m)
+        self.holders
+            .iter()
+            .find(|(t, _)| *t == txn)
+            .map(|(_, m)| *m)
     }
 
     fn compatible_with_holders(&self, txn: TxnId, mode: LockMode) -> bool {
@@ -337,8 +340,7 @@ impl LockManager {
             .iter()
             .map(|(t, _)| *t)
             .filter(|t| {
-                priorities.get(t).copied() == Some(Priority::Low)
-                    && self.waiting.contains_key(t)
+                priorities.get(t).copied() == Some(Priority::Low) && self.waiting.contains_key(t)
             })
             .collect()
     }
@@ -401,24 +403,51 @@ mod tests {
     #[test]
     fn shared_locks_coexist() {
         let mut lm = LockManager::new(LockPriorityPolicy::None);
-        assert_eq!(lm.request(t(1), LO, i(1), LockMode::Shared), RequestOutcome::Granted);
-        assert_eq!(lm.request(t(2), LO, i(1), LockMode::Shared), RequestOutcome::Granted);
+        assert_eq!(
+            lm.request(t(1), LO, i(1), LockMode::Shared),
+            RequestOutcome::Granted
+        );
+        assert_eq!(
+            lm.request(t(2), LO, i(1), LockMode::Shared),
+            RequestOutcome::Granted
+        );
         lm.check_invariants();
     }
 
     #[test]
     fn exclusive_blocks_everyone() {
         let mut lm = LockManager::new(LockPriorityPolicy::None);
-        assert_eq!(lm.request(t(1), LO, i(1), LockMode::Exclusive), RequestOutcome::Granted);
-        assert_eq!(lm.request(t(2), LO, i(1), LockMode::Shared), RequestOutcome::Blocked);
-        assert_eq!(lm.request(t(3), LO, i(1), LockMode::Exclusive), RequestOutcome::Blocked);
+        assert_eq!(
+            lm.request(t(1), LO, i(1), LockMode::Exclusive),
+            RequestOutcome::Granted
+        );
+        assert_eq!(
+            lm.request(t(2), LO, i(1), LockMode::Shared),
+            RequestOutcome::Blocked
+        );
+        assert_eq!(
+            lm.request(t(3), LO, i(1), LockMode::Exclusive),
+            RequestOutcome::Blocked
+        );
         assert_eq!(lm.waiting_count(), 2);
         lm.check_invariants();
         let grants = lm.release_all(t(1));
         // FIFO: t2 (shared) is granted; t3 (exclusive) still waits.
-        assert_eq!(grants, vec![Grant { txn: t(2), item: i(1) }]);
+        assert_eq!(
+            grants,
+            vec![Grant {
+                txn: t(2),
+                item: i(1)
+            }]
+        );
         let grants = lm.release_all(t(2));
-        assert_eq!(grants, vec![Grant { txn: t(3), item: i(1) }]);
+        assert_eq!(
+            grants,
+            vec![Grant {
+                txn: t(3),
+                item: i(1)
+            }]
+        );
         lm.check_invariants();
     }
 
@@ -437,8 +466,11 @@ mod tests {
         let mut lm = LockManager::new(LockPriorityPolicy::None);
         let _ = lm.request(t(1), LO, i(1), LockMode::Shared);
         let _ = lm.request(t(2), LO, i(1), LockMode::Exclusive); // waits
-        // A later shared request must not leapfrog the queued X.
-        assert_eq!(lm.request(t(3), LO, i(1), LockMode::Shared), RequestOutcome::Blocked);
+                                                                 // A later shared request must not leapfrog the queued X.
+        assert_eq!(
+            lm.request(t(3), LO, i(1), LockMode::Shared),
+            RequestOutcome::Blocked
+        );
         lm.check_invariants();
     }
 
@@ -447,11 +479,20 @@ mod tests {
         let mut lm = LockManager::new(LockPriorityPolicy::None);
         let _ = lm.request(t(1), LO, i(1), LockMode::Shared);
         // Re-request in same mode: no-op grant.
-        assert_eq!(lm.request(t(1), LO, i(1), LockMode::Shared), RequestOutcome::Granted);
+        assert_eq!(
+            lm.request(t(1), LO, i(1), LockMode::Shared),
+            RequestOutcome::Granted
+        );
         // Sole holder upgrades in place.
-        assert_eq!(lm.request(t(1), LO, i(1), LockMode::Exclusive), RequestOutcome::Granted);
+        assert_eq!(
+            lm.request(t(1), LO, i(1), LockMode::Exclusive),
+            RequestOutcome::Granted
+        );
         // X holder re-requesting S is a no-op.
-        assert_eq!(lm.request(t(1), LO, i(1), LockMode::Shared), RequestOutcome::Granted);
+        assert_eq!(
+            lm.request(t(1), LO, i(1), LockMode::Shared),
+            RequestOutcome::Granted
+        );
         lm.check_invariants();
     }
 
@@ -460,11 +501,23 @@ mod tests {
         let mut lm = LockManager::new(LockPriorityPolicy::None);
         let _ = lm.request(t(1), LO, i(1), LockMode::Shared);
         let _ = lm.request(t(2), LO, i(1), LockMode::Shared);
-        assert_eq!(lm.request(t(1), LO, i(1), LockMode::Exclusive), RequestOutcome::Blocked);
+        assert_eq!(
+            lm.request(t(1), LO, i(1), LockMode::Exclusive),
+            RequestOutcome::Blocked
+        );
         let grants = lm.release_all(t(2));
-        assert_eq!(grants, vec![Grant { txn: t(1), item: i(1) }]);
+        assert_eq!(
+            grants,
+            vec![Grant {
+                txn: t(1),
+                item: i(1)
+            }]
+        );
         // t1 now holds X.
-        assert_eq!(lm.request(t(3), LO, i(1), LockMode::Shared), RequestOutcome::Blocked);
+        assert_eq!(
+            lm.request(t(3), LO, i(1), LockMode::Shared),
+            RequestOutcome::Blocked
+        );
         lm.check_invariants();
     }
 
@@ -473,13 +526,25 @@ mod tests {
         let mut lm = LockManager::new(LockPriorityPolicy::None);
         let _ = lm.request(t(1), LO, i(1), LockMode::Exclusive);
         let _ = lm.request(t(2), LO, i(2), LockMode::Exclusive);
-        assert_eq!(lm.request(t(1), LO, i(2), LockMode::Exclusive), RequestOutcome::Blocked);
-        assert_eq!(lm.request(t(2), LO, i(1), LockMode::Exclusive), RequestOutcome::Blocked);
+        assert_eq!(
+            lm.request(t(1), LO, i(2), LockMode::Exclusive),
+            RequestOutcome::Blocked
+        );
+        assert_eq!(
+            lm.request(t(2), LO, i(1), LockMode::Exclusive),
+            RequestOutcome::Blocked
+        );
         let victim = lm.find_deadlock_victim(t(2)).expect("cycle exists");
         assert_eq!(victim, t(2), "youngest (largest id) in cycle");
         let grants = lm.abort(victim);
         // Aborting t2 releases i2 → t1 gets it.
-        assert_eq!(grants, vec![Grant { txn: t(1), item: i(2) }]);
+        assert_eq!(
+            grants,
+            vec![Grant {
+                txn: t(1),
+                item: i(2)
+            }]
+        );
         assert!(lm.find_deadlock_victim(t(1)).is_none());
         lm.check_invariants();
     }
@@ -490,9 +555,18 @@ mod tests {
         for n in 1..=3 {
             let _ = lm.request(t(n), LO, i(n), LockMode::Exclusive);
         }
-        assert_eq!(lm.request(t(1), LO, i(2), LockMode::Exclusive), RequestOutcome::Blocked);
-        assert_eq!(lm.request(t(2), LO, i(3), LockMode::Exclusive), RequestOutcome::Blocked);
-        assert_eq!(lm.request(t(3), LO, i(1), LockMode::Exclusive), RequestOutcome::Blocked);
+        assert_eq!(
+            lm.request(t(1), LO, i(2), LockMode::Exclusive),
+            RequestOutcome::Blocked
+        );
+        assert_eq!(
+            lm.request(t(2), LO, i(3), LockMode::Exclusive),
+            RequestOutcome::Blocked
+        );
+        assert_eq!(
+            lm.request(t(3), LO, i(1), LockMode::Exclusive),
+            RequestOutcome::Blocked
+        );
         let victim = lm.find_deadlock_victim(t(3)).expect("3-cycle");
         assert_eq!(victim, t(3));
     }
@@ -512,7 +586,14 @@ mod tests {
         let _ = lm.request(t(2), LO, i(1), LockMode::Exclusive);
         let _ = lm.request(t(3), HI, i(1), LockMode::Exclusive);
         let grants = lm.release_all(t(1));
-        assert_eq!(grants, vec![Grant { txn: t(3), item: i(1) }], "high first");
+        assert_eq!(
+            grants,
+            vec![Grant {
+                txn: t(3),
+                item: i(1)
+            }],
+            "high first"
+        );
     }
 
     #[test]
@@ -520,8 +601,11 @@ mod tests {
         let mut lm = LockManager::new(LockPriorityPolicy::PriorityQueue);
         let _ = lm.request(t(1), LO, i(1), LockMode::Shared);
         let _ = lm.request(t(2), LO, i(1), LockMode::Exclusive); // waits
-        // A high-priority S request may bypass the queued low X.
-        assert_eq!(lm.request(t(3), HI, i(1), LockMode::Shared), RequestOutcome::Granted);
+                                                                 // A high-priority S request may bypass the queued low X.
+        assert_eq!(
+            lm.request(t(3), HI, i(1), LockMode::Shared),
+            RequestOutcome::Granted
+        );
         // Under the None policy this would have blocked (see the
         // fifo_prevents_shared_overtaking_exclusive test).
         lm.check_invariants();
@@ -537,14 +621,26 @@ mod tests {
         // t1 holds i1 and waits for i2 (held by t2).
         let _ = lm.request(t(1), LO, i(1), LockMode::Exclusive);
         let _ = lm.request(t(2), LO, i(2), LockMode::Exclusive);
-        assert_eq!(lm.request(t(1), LO, i(2), LockMode::Shared), RequestOutcome::Blocked);
+        assert_eq!(
+            lm.request(t(1), LO, i(2), LockMode::Shared),
+            RequestOutcome::Blocked
+        );
         // High-priority t3 blocks on i1 whose holder t1 is waiting → victim.
-        assert_eq!(lm.request(t(3), HI, i(1), LockMode::Exclusive), RequestOutcome::Blocked);
+        assert_eq!(
+            lm.request(t(3), HI, i(1), LockMode::Exclusive),
+            RequestOutcome::Blocked
+        );
         assert_eq!(lm.pow_victims(i(1), &prios), vec![t(1)]);
         // t2 holds i2 but is running (not waiting) → not a victim.
         assert!(lm.pow_victims(i(2), &prios).is_empty());
         let grants = lm.abort(t(1));
-        assert_eq!(grants, vec![Grant { txn: t(3), item: i(1) }]);
+        assert_eq!(
+            grants,
+            vec![Grant {
+                txn: t(3),
+                item: i(1)
+            }]
+        );
         lm.check_invariants();
     }
 
@@ -555,7 +651,13 @@ mod tests {
         let _ = lm.request(t(2), LO, i(1), LockMode::Exclusive); // waits
         let _ = lm.request(t(3), LO, i(1), LockMode::Shared); // waits behind X
         let grants = lm.abort(t(2));
-        assert_eq!(grants, vec![Grant { txn: t(3), item: i(1) }]);
+        assert_eq!(
+            grants,
+            vec![Grant {
+                txn: t(3),
+                item: i(1)
+            }]
+        );
         lm.check_invariants();
     }
 

@@ -201,11 +201,13 @@ impl FlexServer {
         let (_, a1, a2) = self.repeating_blocks();
 
         // Unknowns: x = [π_0, π_1, ..., π_m], total S entries.
-        let offsets: Vec<usize> = (0..=m).scan(0, |acc, n| {
-            let o = *acc;
-            *acc += n + 1;
-            Some(o)
-        }).collect();
+        let offsets: Vec<usize> = (0..=m)
+            .scan(0, |acc, n| {
+                let o = *acc;
+                *acc += n + 1;
+                Some(o)
+            })
+            .collect();
         let s_total = offsets[m] + (m + 1);
 
         // Assemble the balance equations x·G = 0 where G[(row=from, col=to)]
@@ -246,9 +248,7 @@ impl FlexServer {
         // Level-m balance also receives π_{m+1}·A2 = π_m·R·A2, and the
         // diagonal of level m must be the repeating A1 diagonal (it already
         // is: boundary_diag(m) == diag(A1)).
-        debug_assert!((0..sz).all(|j| {
-            (self.boundary_diag(m)[j] - a1[(j, j)]).abs() < 1e-9
-        }));
+        debug_assert!((0..sz).all(|j| { (self.boundary_diag(m)[j] - a1[(j, j)]).abs() < 1e-9 }));
         let ra2 = r.mul(&a2);
         let off_m = offsets[m];
         for j in 0..sz {

@@ -32,11 +32,7 @@ impl ThroughputModel {
     /// Only relative values matter; resources with (near-)zero utilization
     /// are dropped — they never constrain the MPL.
     pub fn from_utilizations(utilizations: &[f64]) -> ThroughputModel {
-        let demands: Vec<f64> = utilizations
-            .iter()
-            .copied()
-            .filter(|u| *u > 1e-6)
-            .collect();
+        let demands: Vec<f64> = utilizations.iter().copied().filter(|u| *u > 1e-6).collect();
         assert!(
             !demands.is_empty(),
             "at least one resource must be utilized"
@@ -69,10 +65,7 @@ impl ThroughputModel {
 /// Lowest MPL whose predicted throughput is at least `fraction` of the
 /// maximum (e.g. `fraction = 0.95` for a 5% loss budget).
 pub fn min_mpl_for_throughput(model: &ThroughputModel, fraction: f64) -> u32 {
-    assert!(
-        (0.0..1.0).contains(&fraction),
-        "fraction must be in [0, 1)"
-    );
+    assert!((0.0..1.0).contains(&fraction), "fraction must be in [0, 1)");
     let series = model.network.solve_series(100_000.min(guess_cap(model)));
     let xmax = model.network.max_throughput();
     for s in &series {
@@ -86,7 +79,9 @@ pub fn min_mpl_for_throughput(model: &ThroughputModel, fraction: f64) -> u32 {
 fn guess_cap(model: &ThroughputModel) -> u32 {
     // The MPL for 99.9% of max throughput is O(K / (1 - fraction)); a cap of
     // 1000·K is far beyond anything the controller will use.
-    (model.network.demands().len() as u32).saturating_mul(1000).max(1000)
+    (model.network.demands().len() as u32)
+        .saturating_mul(1000)
+        .max(1000)
 }
 
 /// Lowest MPL at which the flexible multiserver queue's mean response time
@@ -188,7 +183,10 @@ mod tests {
         let m_hi_09 = min_mpl_for_response_time(hi, lambda_09, 0.05, 100);
         assert!(m_lo <= 2, "exponential workload: {m_lo}");
         assert!(m_hi_07 >= 5, "C2=15 at 0.7: {m_hi_07}");
-        assert!(m_hi_09 > m_hi_07, "load 0.9 needs more: {m_hi_09} vs {m_hi_07}");
+        assert!(
+            m_hi_09 > m_hi_07,
+            "load 0.9 needs more: {m_hi_09} vs {m_hi_07}"
+        );
     }
 
     #[test]

@@ -6,9 +6,12 @@
 //! are derived by hashing `(master_seed, label)` with SplitMix64, so adding
 //! a new consumer never perturbs the draws seen by existing ones — that
 //! keeps A/B comparisons between scheduler variants paired.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ (Blackman & Vigna): fast,
+//! 256-bit state, and — crucially for this workspace — fully deterministic
+//! with no external dependency, so the same `(seed, label)` pair yields the
+//! same stream on every platform and the parallel sweep executor can
+//! promise bit-identical results to serial execution.
 
 /// SplitMix64 step, used to derive independent stream seeds.
 #[inline]
@@ -20,18 +23,39 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// A deterministic random stream.
+/// A deterministic random stream (xoshiro256++).
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    s: [u64; 4],
 }
 
 impl SimRng {
-    /// A stream seeded directly from `seed`.
+    /// A stream seeded directly from `seed` (state expanded via SplitMix64,
+    /// the seeding procedure the xoshiro authors recommend).
     pub fn seed_from_u64(seed: u64) -> Self {
-        SimRng {
-            inner: StdRng::seed_from_u64(seed),
-        }
+        let mut state = seed;
+        let s = [
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+        ];
+        SimRng { s }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Derive an independent stream for component `label`.
@@ -46,17 +70,17 @@ impl SimRng {
         SimRng::seed_from_u64(seed)
     }
 
-    /// Uniform in `[0, 1)`.
+    /// Uniform in `[0, 1)` with 53 bits of precision.
     #[inline]
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform in `(0, 1]` — safe as the argument of `ln` for inverse
     /// transform sampling.
     #[inline]
     pub fn uniform_pos(&mut self) -> f64 {
-        1.0 - self.inner.gen::<f64>()
+        1.0 - self.uniform()
     }
 
     /// Uniform in `[lo, hi)`.
@@ -69,14 +93,16 @@ impl SimRng {
     #[inline]
     pub fn index(&mut self, n: usize) -> usize {
         debug_assert!(n > 0);
-        self.inner.gen_range(0..n)
+        self.index_u64(n as u64) as usize
     }
 
     /// Uniform integer in `[0, n)` for u64 domains (page/item ids).
+    /// Lemire's multiply-shift: the bias for the domain sizes used here
+    /// (≤ 2⁴⁰ pages) is below 2⁻²⁴ and the map is deterministic.
     #[inline]
     pub fn index_u64(&mut self, n: u64) -> u64 {
         debug_assert!(n > 0);
-        self.inner.gen_range(0..n)
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
     }
 
     /// Bernoulli trial with success probability `p`.

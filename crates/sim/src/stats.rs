@@ -160,6 +160,77 @@ fn t_critical(df: u64, level: f64) -> f64 {
     table[i + 1] + w * (table[i] - table[i + 1])
 }
 
+/// Replication statistics: one [`Welford`] accumulator per named metric,
+/// fed by repeated runs of the same experiment under different seeds.
+///
+/// The sweep executor pushes every scalar a run reports (throughput, mean
+/// response time, ...) once per replication; figure tables then render
+/// `mean ± half-width` cells from [`Replications::ci`]. Keys keep
+/// insertion order so reports are deterministic, and lookups are linear —
+/// a run reports tens of metrics, not thousands.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Replications {
+    metrics: Vec<(String, Welford)>,
+}
+
+impl Replications {
+    /// An empty aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one replication's value for `key`.
+    pub fn push(&mut self, key: &str, value: f64) {
+        match self.metrics.iter_mut().find(|(k, _)| k == key) {
+            Some((_, w)) => w.push(value),
+            None => {
+                let mut w = Welford::new();
+                w.push(value);
+                self.metrics.push((key.to_string(), w));
+            }
+        }
+    }
+
+    /// The accumulator for `key`, if any replication reported it.
+    pub fn get(&self, key: &str) -> Option<&Welford> {
+        self.metrics.iter().find(|(k, _)| k == key).map(|(_, w)| w)
+    }
+
+    /// Mean of `key` over replications (0 when unreported).
+    pub fn mean(&self, key: &str) -> f64 {
+        self.get(key).map_or(0.0, Welford::mean)
+    }
+
+    /// Unbiased variance of `key` over replications (0 when unreported).
+    pub fn variance(&self, key: &str) -> f64 {
+        self.get(key).map_or(0.0, Welford::variance)
+    }
+
+    /// Student-t confidence interval for the mean of `key`. With a single
+    /// replication the half-width is infinite — the caller should print
+    /// the point estimate alone.
+    pub fn ci(&self, key: &str, level: f64) -> ConfidenceInterval {
+        match self.get(key) {
+            Some(w) => w.confidence_interval(level),
+            None => ConfidenceInterval {
+                mean: 0.0,
+                half_width: f64::INFINITY,
+                level,
+            },
+        }
+    }
+
+    /// Number of replications recorded for `key`.
+    pub fn count(&self, key: &str) -> u64 {
+        self.get(key).map_or(0, Welford::count)
+    }
+
+    /// Metric names in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.metrics.iter().map(|(k, _)| k.as_str())
+    }
+}
+
 /// A batch of samples supporting percentile queries.
 ///
 /// Stores the raw values; fine for the experiment scales in this workspace
@@ -227,8 +298,7 @@ impl SampleSet {
             return 0.0;
         }
         let m = self.mean();
-        let var =
-            self.values.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (n - 1) as f64;
+        let var = self.values.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (n - 1) as f64;
         if m == 0.0 {
             0.0
         } else {
@@ -362,7 +432,40 @@ mod tests {
     fn empty_welford_ci_is_infinite() {
         let w = Welford::new();
         assert!(w.confidence_interval(0.95).half_width.is_infinite());
-        assert_eq!(w.confidence_interval(0.95).relative_half_width(), f64::INFINITY);
+        assert_eq!(
+            w.confidence_interval(0.95).relative_half_width(),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn replications_aggregate_named_metrics() {
+        let mut r = Replications::new();
+        for seed in 0..5 {
+            r.push("throughput", 100.0 + seed as f64);
+            r.push("mean_rt", 0.5);
+        }
+        assert_eq!(r.count("throughput"), 5);
+        assert!((r.mean("throughput") - 102.0).abs() < 1e-12);
+        assert!((r.variance("throughput") - 2.5).abs() < 1e-12);
+        // Constant metric: zero-width interval.
+        let ci = r.ci("mean_rt", 0.95);
+        assert!((ci.mean - 0.5).abs() < 1e-12 && ci.half_width < 1e-12);
+        // t-based CI for the varying metric: ±(2.776 · s/√5) at df=4.
+        let ci = r.ci("throughput", 0.95);
+        let want = 2.776 * (2.5f64).sqrt() / 5f64.sqrt();
+        assert!((ci.half_width - want).abs() < 1e-3, "hw {}", ci.half_width);
+        // Unreported keys degrade gracefully.
+        assert_eq!(r.count("nope"), 0);
+        assert!(r.ci("nope", 0.95).half_width.is_infinite());
+        assert_eq!(r.keys().collect::<Vec<_>>(), ["throughput", "mean_rt"]);
+    }
+
+    #[test]
+    fn single_replication_ci_is_infinite() {
+        let mut r = Replications::new();
+        r.push("x", 1.0);
+        assert!(r.ci("x", 0.95).half_width.is_infinite());
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Property-based tests for the DES kernel, distributions and statistics.
 
 use proptest::prelude::*;
-use xsched_sim::{Dist, EventQueue, SampleSet, SimRng, SimTime, Welford};
 use xsched_sim::zipf::Zipf;
+use xsched_sim::{Dist, EventQueue, SampleSet, SimRng, SimTime, Welford};
 
 proptest! {
     /// Events always pop in nondecreasing time order, with insertion order

@@ -26,5 +26,5 @@ pub mod tpcw;
 pub mod trace;
 
 pub use client::ArrivalProcess;
-pub use setups::{setup, setups, workloads, Setup};
+pub use setups::{labeled_setups, setup, setup_ids, setups, setups_where, workloads, Setup};
 pub use spec::{LockProfile, TxnGen, TxnTemplate, WorkloadSpec};

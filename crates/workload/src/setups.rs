@@ -93,9 +93,39 @@ pub fn setup(i: u32) -> Setup {
     }
 }
 
+impl Setup {
+    /// Functional update of the DBMS configuration — the idiom sweep plans
+    /// use to express internal-policy variants (POW locks, CPU priorities,
+    /// group commit, ...) as one-line setup literals.
+    pub fn map_cfg(mut self, f: impl FnOnce(&mut DbmsConfig)) -> Setup {
+        f(&mut self.cfg);
+        self
+    }
+}
+
 /// All 17 setups in order.
 pub fn setups() -> Vec<Setup> {
     (1..=17).map(setup).collect()
+}
+
+/// All Table-2 setup ids, for sweep grids over the full matrix.
+pub fn setup_ids() -> std::ops::RangeInclusive<u32> {
+    1..=17
+}
+
+/// The setups satisfying `pred` — e.g. every I/O-bound row, or every
+/// 2-CPU row — for callers assembling sweep rows by property rather than
+/// by the `(label, id)` lists the bundled figures use.
+pub fn setups_where(pred: impl Fn(&Setup) -> bool) -> Vec<Setup> {
+    setups().into_iter().filter(pred).collect()
+}
+
+/// `(label, setup)` pairs from `(label, id)` shorthand — the row axis of a
+/// figure-style sweep grid.
+pub fn labeled_setups(rows: &[(&str, u32)]) -> Vec<(String, Setup)> {
+    rows.iter()
+        .map(|(label, id)| (label.to_string(), setup(*id)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -168,5 +198,23 @@ mod tests {
     #[should_panic(expected = "Table 2")]
     fn setup_zero_rejected() {
         setup(0);
+    }
+
+    #[test]
+    fn grid_helpers_enumerate_and_filter() {
+        assert_eq!(setup_ids().count(), 17);
+        let io = setups_where(|s| s.workload.name.starts_with("W_IO"));
+        assert_eq!(io.len(), 6); // setups 5..=10
+        assert!(io.iter().all(|s| (5..=10).contains(&s.id)));
+        let rows = labeled_setups(&[("one cpu", 1), ("two cpus", 2)]);
+        assert_eq!(rows[0].0, "one cpu");
+        assert_eq!(rows[1].1.hw.cpus, 2);
+    }
+
+    #[test]
+    fn map_cfg_updates_in_place() {
+        use xsched_dbms::IsolationLevel;
+        let s = setup(1).map_cfg(|c| c.isolation = IsolationLevel::UncommittedRead);
+        assert_eq!(s.cfg.isolation, IsolationLevel::UncommittedRead);
     }
 }

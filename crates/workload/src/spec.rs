@@ -14,8 +14,8 @@
 
 use serde::Serialize;
 use xsched_dbms::txn::{ItemId, LockMode, PageId, Priority, Step, TxnBody};
-use xsched_sim::{Dist, SimRng};
 use xsched_sim::zipf::Zipf;
+use xsched_sim::{Dist, SimRng};
 
 /// Locking behaviour of a template.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
@@ -279,7 +279,9 @@ impl TxnGen {
         // on the same item survives — that is the upgrade.
         let mut seen: Vec<(ItemId, LockMode)> = Vec::new();
         for st in steps.iter_mut() {
-            let Some((item, mode)) = st.lock else { continue };
+            let Some((item, mode)) = st.lock else {
+                continue;
+            };
             match seen.iter_mut().find(|(i, _)| *i == item) {
                 Some((_, held)) => {
                     if *held == LockMode::Exclusive || mode == *held {

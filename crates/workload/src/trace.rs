@@ -128,7 +128,11 @@ mod tests {
         let (_, tpcw) = crate::tpcw::cpu_browsing().intrinsic_demand_stats(0.0);
         for spec in [retailer(), auction()] {
             let (_, c2) = spec.intrinsic_demand_stats(0.0);
-            assert!(c2 > tpcc && c2 < tpcw, "{}: {c2} vs {tpcc}/{tpcw}", spec.name);
+            assert!(
+                c2 > tpcc && c2 < tpcw,
+                "{}: {c2} vs {tpcc}/{tpcw}",
+                spec.name
+            );
         }
     }
 }

@@ -23,10 +23,7 @@ fn main() {
         let driver = Driver::new(setup(id)).with_config(rc.clone());
         let warm = driver.run_controller_with_start(Targets::five_percent(), None);
         let cold = driver.run_controller_with_start(Targets::five_percent(), Some(1));
-        println!(
-            "setup {id:2} ({}):",
-            driver.setup().workload.name
-        );
+        println!("setup {id:2} ({}):", driver.setup().workload.name);
         println!(
             "  queueing jump-start at MPL {:>3} -> converged at MPL {:>3} in {} windows",
             warm.jumpstart_mpl, warm.final_mpl, warm.iterations

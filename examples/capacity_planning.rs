@@ -18,7 +18,10 @@ use extsched::queueing::{mg1, recommend, FlexServer, ThroughputModel, H2};
 
 fn main() {
     println!("== throughput bound (closed MVA model) ==");
-    println!("{:>6}  {:>12}  {:>12}", "disks", "MPL for 80%", "MPL for 95%");
+    println!(
+        "{:>6}  {:>12}  {:>12}",
+        "disks", "MPL for 80%", "MPL for 95%"
+    );
     for disks in [1usize, 2, 4, 8, 16] {
         let model = ThroughputModel::balanced(disks);
         println!(
@@ -41,10 +44,7 @@ fn main() {
             let h2 = H2::fit(mean, c2);
             let mpl = recommend::min_mpl_for_response_time(h2, lambda, 0.05, 200);
             let ps = mg1::mg1_ps_response_time(lambda, mean);
-            println!(
-                "{c2:>5}  {load:>5}  {mpl:>16}  {:>14.0}",
-                ps * 1e3
-            );
+            println!("{c2:>5}  {load:>5}  {mpl:>16}  {:>14.0}", ps * 1e3);
         }
     }
 
@@ -53,7 +53,10 @@ fn main() {
     let lambda = 0.9 / mean;
     for mpl in [1u32, 5, 10, 20, 30] {
         let t = FlexServer::new(lambda, h2, mpl).mean_response_time();
-        println!("  MPL {mpl:>2}: predicted mean response time {:.0} ms", t * 1e3);
+        println!(
+            "  MPL {mpl:>2}: predicted mean response time {:.0} ms",
+            t * 1e3
+        );
     }
     let ps = mg1::mg1_ps_response_time(lambda, mean);
     println!("  PS    : {:.0} ms (insensitive to C²)", ps * 1e3);

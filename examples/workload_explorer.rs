@@ -39,7 +39,11 @@ fn main() {
         let model = ThroughputModel::balanced(resources);
         let tput_mpl = recommend::min_mpl_for_throughput(&model, 0.95);
         // Response-time bound at a nominal load of 0.9.
-        let io_cost = if s.workload.name.contains("IO") { 0.005 } else { 0.0 };
+        let io_cost = if s.workload.name.contains("IO") {
+            0.005
+        } else {
+            0.0
+        };
         let (mean, c2) = s.workload.intrinsic_demand_stats(io_cost);
         let h2 = H2::fit(mean, c2.max(1.0));
         let lambda = 0.9 / mean;

@@ -23,22 +23,48 @@
 //! * [`core`] — the external scheduler, queue policies, the feedback MPL
 //!   controller, and the experiment driver.
 //!
-//! ## Quick start
+//! ## Quick start: replicated sweeps with confidence intervals
+//!
+//! Experiments are [`Scenario`](core::Scenario) literals; a
+//! [`SweepPlan`](core::SweepPlan) crosses them with replication seeds and
+//! the [`SweepExecutor`](core::SweepExecutor) fans the grid across all
+//! cores — bit-identical to running it serially.
 //!
 //! ```
-//! use extsched::core::{Driver, PolicyKind, RunConfig, Targets};
+//! use extsched::core::{RunConfig, Scenario, SweepExecutor, SweepPlan};
 //! use extsched::workload::setup;
 //!
-//! // Setup 1 of the paper: TPC-C-style inventory workload, 1 CPU, 1 disk.
+//! // Setup 1 of the paper (TPC-C-style inventory, 1 CPU, 1 disk) at
+//! // three MPLs, three replication seeds each, quick run lengths.
 //! let rc = RunConfig { warmup_txns: 50, measured_txns: 300, ..Default::default() };
-//! let driver = Driver::new(setup(1)).with_config(rc);
+//! let scenarios = Vec::from([1, 5, 20].map(|mpl| {
+//!     Scenario::tput("W_CPU-inventory", setup(1), mpl, rc.clone())
+//! }));
+//! let plan = SweepPlan::new(scenarios).replicated(3, 42);
+//! let results = SweepExecutor::parallel(0).run(&plan);
 //!
-//! // Let the controller find the lowest MPL within a 20% loss budget.
+//! // Throughput rises from MPL 1 toward the knee near MPL 5 (Fig. 2)...
+//! assert!(results[1].mean("throughput") > 1.5 * results[0].mean("throughput"));
+//! // ...and every metric carries a Student-t confidence interval.
+//! let ci = results[1].ci95("throughput");
+//! assert!(ci.half_width.is_finite() && ci.half_width < ci.mean);
+//! ```
+//!
+//! ## Tuning the MPL live
+//!
+//! The feedback controller of §4.3 finds the lowest MPL that meets the
+//! DBA's loss targets, jump-started from the queueing models (full
+//! sessions take a while — run the `figures` binary for real output):
+//!
+//! ```no_run
+//! use extsched::core::{Driver, PolicyKind, Targets};
+//! use extsched::workload::setup;
+//!
+//! let driver = Driver::new(setup(1));
 //! let outcome = driver.run_controller(Targets::twenty_percent());
-//! assert!(outcome.converged);
-//! assert!(outcome.iterations < 10); // the paper's bound
+//! assert!(outcome.converged && outcome.iterations < 10); // the paper's bound
 //!
-//! // Run two-class priority scheduling at that MPL.
+//! // Run two-class priority scheduling at the tuned MPL.
 //! let run = driver.run(outcome.final_mpl, PolicyKind::Priority, &driver.saturated());
 //! assert!(run.rt_high < run.rt_low); // high priority gets faster service
 //! ```

@@ -74,19 +74,37 @@ fn model_mpl_recommendation_is_conservative() {
 
 /// Fig. 10's qualitative claim transfers to the full simulator: under an
 /// open system at fixed load, the high-C² workload needs a much larger
-/// MPL than the low-C² workload before mean response time settles.
+/// MPL than the low-C² workload before mean response time settles. The
+/// low point is MPL 4 — the paper's §3.2 observation is that TPC-C is
+/// already settled there (r4 ≈ r30) while C² ≈ 15 is far from settled;
+/// below MPL 4 both systems are throughput-starved at load 0.7 and the
+/// comparison would measure overload artifacts instead.
 #[test]
 fn variability_governs_response_time_sensitivity() {
-    let rt_ratio_mpl2_vs_30 = |id: u32| -> f64 {
-        let d = Driver::new(setup(id)).with_config(quick());
+    let rt_ratio_mpl4_vs_30 = |id: u32| -> f64 {
+        // The heavy-tailed browsing workload (C² ≈ 15) needs a longer
+        // window than `quick()`: with completion-count windows the rare
+        // huge transactions bias short measurements (same scaling the
+        // bench harness applies to browsing setups).
+        let rc = if id == 3 {
+            RunConfig {
+                warmup_txns: 300,
+                measured_txns: 4_000,
+                min_warmup_time: 400.0,
+                ..Default::default()
+            }
+        } else {
+            quick()
+        };
+        let d = Driver::new(setup(id)).with_config(rc);
         let cap = d.reference().throughput;
         let arr = extsched::workload::ArrivalProcess::open(0.7 * cap);
-        let lo = d.run(2, PolicyKind::Fifo, &arr).mean_rt;
+        let lo = d.run(4, PolicyKind::Fifo, &arr).mean_rt;
         let hi = d.run(30, PolicyKind::Fifo, &arr).mean_rt;
         lo / hi
     };
-    let tpcc = rt_ratio_mpl2_vs_30(1); // C² ≈ 1.3
-    let tpcw = rt_ratio_mpl2_vs_30(3); // C² ≈ 15
+    let tpcc = rt_ratio_mpl4_vs_30(1); // C² ≈ 1.3
+    let tpcw = rt_ratio_mpl4_vs_30(3); // C² ≈ 15
     assert!(
         tpcw > tpcc,
         "high-C² workload must be more MPL-sensitive: tpcc {tpcc:.2} vs tpcw {tpcw:.2}"

@@ -76,18 +76,17 @@ fn external_priority_differentiates_and_overall_barely_suffers() {
     // low, and the overall mean not much above the no-priority baseline.
     let d = Driver::new(setup(1)).with_config(quick());
     let o = d.priority_experiment(0.05);
-    assert!(
-        o.differentiation() > 3.0,
-        "weak differentiation: {:?}",
-        o
-    );
+    assert!(o.differentiation() > 3.0, "weak differentiation: {:?}", o);
     assert!(
         o.rt_overall < 1.3 * o.rt_noprio,
         "overall mean should not explode: {} vs {}",
         o.rt_overall,
         o.rt_noprio
     );
-    assert!(o.rt_high < o.rt_noprio, "high priority must beat the baseline");
+    assert!(
+        o.rt_high < o.rt_noprio,
+        "high priority must beat the baseline"
+    );
 }
 
 #[test]
