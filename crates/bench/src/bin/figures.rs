@@ -11,10 +11,22 @@
 //! With more than one replication seed every table cell prints
 //! `mean ±95% CI half-width` over the replications; sweeps always fan out
 //! across the worker pool (`--threads`, default one per core).
+//!
+//! Sweeps can additionally be split **across processes or hosts**: each
+//! `--shard i/n` invocation simulates only its strided slice of every
+//! task grid and prints encoded shard payloads, and `--merge f1,f2,…`
+//! reassembles them into tables byte-identical to an unsharded run:
+//!
+//! ```text
+//! figures --quick --shard 1/2 fig3 > s1.txt   # host A
+//! figures --quick --shard 2/2 fig3 > s2.txt   # host B
+//! figures --quick --merge s1.txt,s2.txt fig3  # anywhere
+//! ```
 
+use std::sync::{Arc, Mutex};
 use xsched_bench::cli::{parse_args, USAGE};
 use xsched_bench::*;
-use xsched_core::RunConfig;
+use xsched_core::shard::decode_payloads;
 
 const EXPERIMENTS: &[&str] = &[
     "table1",
@@ -65,43 +77,59 @@ fn main() {
             args.experiments.iter().map(String::as_str).collect()
         };
 
+    // The shard sink collects encoded payloads; in shard mode they are
+    // what goes to stdout (tables are suppressed until the merge).
+    let sink = Arc::new(Mutex::new(Vec::new()));
+    let mode = if let Some((i, n)) = args.shard {
+        SweepMode::Shard {
+            index: i - 1, // CLI is 1-based, the executor 0-based
+            of: n,
+            sink: Arc::clone(&sink),
+        }
+    } else if !args.merge.is_empty() {
+        let mut pool = Vec::new();
+        for path in &args.merge {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("error: cannot read shard file `{path}`: {e}");
+                std::process::exit(2);
+            });
+            pool.extend(decode_payloads(&text).unwrap_or_else(|e| {
+                eprintln!("error: bad shard payload in `{path}`: {e}");
+                std::process::exit(2);
+            }));
+        }
+        SweepMode::Merge {
+            pool: Arc::new(pool),
+        }
+    } else {
+        SweepMode::Run
+    };
     let opts = SweepOpts {
         seeds: args.seeds.clone(),
         threads: args.threads,
+        mode,
     };
-    let rc = if args.quick {
-        RunConfig {
-            warmup_txns: 100,
-            measured_txns: 800,
-            ..Default::default()
-        }
-    } else {
-        RunConfig {
-            warmup_txns: 500,
-            measured_txns: 4_000,
-            ..Default::default()
-        }
-    };
+    let rc = if args.quick { quick_rc() } else { full_rc() };
     // Controller sessions and MPL searches run many inner sims per
     // scenario; use a lighter config for them unless asked for full
     // length.
     let rc_heavy = if args.quick {
-        RunConfig {
-            warmup_txns: 100,
-            measured_txns: 600,
-            ..Default::default()
-        }
+        quick_rc_heavy()
     } else {
-        RunConfig {
-            warmup_txns: 300,
-            measured_txns: 2_000,
-            ..Default::default()
-        }
+        full_rc_heavy()
     };
+
+    // In merge mode a shard-payload mismatch surfaces as a panic from
+    // `SweepOpts::run`; turn it into the same clean one-line error + exit 2
+    // every other user-input failure uses (and silence the panic hook so
+    // no backtrace noise precedes it).
+    if !args.merge.is_empty() {
+        std::panic::set_hook(Box::new(|_| {}));
+    }
 
     for name in names {
         let started = std::time::Instant::now();
-        let report = match name {
+        let build_report = || match name {
             "table1" => table1_report(),
             "table2" => table2_report(),
             "fig2" => fig2_report(&rc, &opts),
@@ -131,7 +159,46 @@ fn main() {
                 std::process::exit(2);
             }
         };
-        println!("{report}");
+        let report = if args.merge.is_empty() {
+            build_report()
+        } else {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(build_report)) {
+                Ok(report) => report,
+                Err(payload) => {
+                    // Only typed shard-validation failures are user-input
+                    // errors; anything else is a genuine bug and must not
+                    // masquerade as one.
+                    if let Some(MergeError(msg)) = payload.downcast_ref::<MergeError>() {
+                        eprintln!("error: {msg}");
+                        std::process::exit(2);
+                    }
+                    let msg = payload
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                        .unwrap_or_else(|| "unknown panic".to_string());
+                    eprintln!("internal error (not a shard-file problem): {msg}");
+                    std::process::exit(101);
+                }
+            }
+        };
+        if args.shard.is_some() {
+            // Shard mode: stdout carries the machine-readable payloads
+            // (one per sweep this experiment executed); the rendered
+            // table fragments are partial and stay unprinted. An empty
+            // sink means the experiment ran no sweep (analytic/static) —
+            // it renders at merge time.
+            let payloads: Vec<String> = sink.lock().unwrap().drain(..).collect();
+            if payloads.is_empty() {
+                eprintln!("[{name} ran no sweep; it renders at merge time]");
+            }
+            for payload in payloads {
+                println!("# experiment {name}");
+                print!("{payload}");
+            }
+        } else {
+            println!("{report}");
+        }
         eprintln!("[{name} took {:.1}s]\n", started.elapsed().as_secs_f64());
     }
 }

@@ -18,6 +18,11 @@ pub struct FiguresArgs {
     pub seeds: Vec<u64>,
     /// Worker threads; `0` = one per core.
     pub threads: usize,
+    /// Run only shard `i` of `n` of every sweep (1-based `i`), printing
+    /// encoded shard payloads instead of tables.
+    pub shard: Option<(usize, usize)>,
+    /// Shard payload files to merge instead of simulating.
+    pub merge: Vec<String>,
     /// Print the experiment list and exit.
     pub list: bool,
     /// Print usage and exit.
@@ -43,9 +48,40 @@ OPTIONS:
                              (base = first --seeds value, or 42); tables
                              then print mean ±95% CI half-width per cell
     -t, --threads N          worker threads, 0 = one per core [default: 0]
+        --shard I/N          run only the I-th of N strided task slices
+                             (I is 1-based) and print encoded shard
+                             payloads to stdout instead of tables;
+                             redirect each shard's stdout to a file
+        --merge FILES        comma-separated shard payload files; merge
+                             them (running no sweep tasks) and print the
+                             tables, byte-identical to an unsharded run
+                             under the same flags; repeatable. Reports
+                             that resolve MPLs while building their plan
+                             (fig11-13, ablation_policy) repeat that
+                             deterministic search locally
     -l, --list               list experiment names and exit
     -h, --help               print this help and exit
+
+Sharded sweeps: run each `--shard i/N` (same flags otherwise) on any
+mix of processes or hosts, collect the outputs, then `--merge` them:
+
+    figures --quick --shard 1/2 fig3 > s1.txt
+    figures --quick --shard 2/2 fig3 > s2.txt
+    figures --quick --merge s1.txt,s2.txt fig3
 ";
+
+fn parse_shard(v: &str) -> Result<(usize, usize), String> {
+    let err = || format!("invalid shard `{v}` (want e.g. `2/8`, 1-based)");
+    let (i, n) = v.split_once('/').ok_or_else(err)?;
+    let i: usize = i.trim().parse().map_err(|_| err())?;
+    let n: usize = n.trim().parse().map_err(|_| err())?;
+    if i == 0 || n == 0 || i > n {
+        return Err(format!(
+            "shard index out of range in `{v}` (want 1 ≤ i ≤ n)"
+        ));
+    }
+    Ok((i, n))
+}
 
 fn parse_u64_list(v: &str) -> Result<Vec<u64>, String> {
     let seeds: Result<Vec<u64>, _> = v.split(',').map(|s| s.trim().parse::<u64>()).collect();
@@ -87,6 +123,10 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<FiguresArgs, String> {
                     .parse()
                     .map_err(|_| format!("invalid thread count `{v}`"))?;
             }
+            "--shard" => out.shard = Some(parse_shard(&value_for(arg)?)?),
+            "--merge" => out
+                .merge
+                .extend(value_for(arg)?.split(',').map(|p| p.trim().to_string())),
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}` (see --help)"));
             }
@@ -96,6 +136,9 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<FiguresArgs, String> {
     if let Some(n) = replications {
         let base = out.seeds.first().copied().unwrap_or(42);
         out.seeds = (0..n as u64).map(|i| base.wrapping_add(i)).collect();
+    }
+    if out.shard.is_some() && !out.merge.is_empty() {
+        return Err("--shard and --merge are mutually exclusive".into());
     }
     Ok(out)
 }
@@ -142,6 +185,27 @@ mod tests {
         assert!(parse_args(&["--seeds", "x"]).is_err());
         assert!(parse_args(&["--replications", "0"]).is_err());
         assert!(parse_args(&["--bogus"]).is_err());
+    }
+
+    #[test]
+    fn shard_spec_parses_one_based() {
+        let a = parse_args(&["--shard", "2/8", "fig3"]).unwrap();
+        assert_eq!(a.shard, Some((2, 8)));
+        assert_eq!(parse_args(&["--shard", "8/8"]).unwrap().shard, Some((8, 8)));
+        for bad in ["0/8", "9/8", "2", "a/b", "2/0", ""] {
+            assert!(parse_args(&["--shard", bad]).is_err(), "`{bad}`");
+        }
+    }
+
+    #[test]
+    fn merge_files_accumulate_across_flags_and_commas() {
+        let a = parse_args(&["--merge", "a.txt,b.txt", "--merge", "c.txt"]).unwrap();
+        assert_eq!(a.merge, ["a.txt", "b.txt", "c.txt"]);
+    }
+
+    #[test]
+    fn shard_and_merge_are_mutually_exclusive() {
+        assert!(parse_args(&["--shard", "1/2", "--merge", "a.txt"]).is_err());
     }
 
     #[test]

@@ -10,9 +10,10 @@
 
 use crate::fmt::{f0, f1, f2, f3, ms, table};
 use crate::table::{pivot_table, Col};
+use std::sync::{Arc, Mutex};
 use xsched_core::{
-    ArrivalSpec, ExecSpec, MplSpec, PolicyKind, RunConfig, Scenario, ScenarioResult, SweepExecutor,
-    SweepPlan, Targets,
+    ArrivalSpec, ExecSpec, MplSpec, PolicyKind, RunConfig, Scenario, ScenarioResult, ShardResult,
+    SweepExecutor, SweepPlan, Targets,
 };
 use xsched_dbms::{CpuPolicy, LockPriorityPolicy};
 use xsched_queueing::{flex::FlexServer, mg1, recommend, ClosedNetwork, ThroughputModel, H2};
@@ -21,7 +22,83 @@ use xsched_workload::{labeled_setups, setup, setup_ids, setups, trace, workloads
 /// The MPL grid used by the throughput figures.
 pub const MPL_GRID: [u32; 10] = [1, 2, 3, 5, 7, 10, 15, 20, 30, 40];
 
-/// How a report executes its sweep: replication seeds and worker threads.
+/// The `figures --quick` run length. One definition shared by the binary
+/// and the golden determinism tests, so the snapshots pin the CLI's
+/// actual output.
+pub fn quick_rc() -> RunConfig {
+    RunConfig {
+        warmup_txns: 100,
+        measured_txns: 800,
+        ..Default::default()
+    }
+}
+
+/// Full-length run configuration of the `figures` binary.
+pub fn full_rc() -> RunConfig {
+    RunConfig {
+        warmup_txns: 500,
+        measured_txns: 4_000,
+        ..Default::default()
+    }
+}
+
+/// `--quick` configuration for experiments that run many inner
+/// simulations per scenario (controller sessions, MPL searches).
+pub fn quick_rc_heavy() -> RunConfig {
+    RunConfig {
+        warmup_txns: 100,
+        measured_txns: 600,
+        ..Default::default()
+    }
+}
+
+/// Full-length configuration for the heavy (multi-simulation) experiments.
+pub fn full_rc_heavy() -> RunConfig {
+    RunConfig {
+        warmup_txns: 300,
+        measured_txns: 2_000,
+        ..Default::default()
+    }
+}
+
+/// Raised through `std::panic::panic_any` when merge-mode shard
+/// validation fails — a *user-input* problem (wrong files, mixed flags),
+/// not a bug. The `figures` binary downcasts the panic payload to this
+/// type to report a clean one-line error, so the contract is typed
+/// rather than a string-prefix match.
+#[derive(Debug)]
+pub struct MergeError(pub String);
+
+/// How a report's sweep executes: in full, as one shard of a split run,
+/// or by merging previously recorded shard payloads.
+#[derive(Debug, Clone, Default)]
+pub enum SweepMode {
+    /// Run every task in this process (the default).
+    #[default]
+    Run,
+    /// Run only the strided task slice `index` of `of` and append the
+    /// encoded [`ShardResult`] to `sink`; the returned results aggregate
+    /// just this shard's share (cells the shard skipped stay empty).
+    Shard {
+        /// 0-based shard index.
+        index: usize,
+        /// Total shard count.
+        of: usize,
+        /// Collects one encoded payload per executed sweep.
+        sink: Arc<Mutex<Vec<String>>>,
+    },
+    /// Run nothing: reassemble each sweep from decoded shard payloads,
+    /// matched to the plan by fingerprint. Panics if the pool does not
+    /// exactly partition the plan — shards must come from the same
+    /// figures flags (`--quick`, `--seeds`, ...).
+    Merge {
+        /// Decoded payloads from every shard file.
+        pool: Arc<Vec<ShardResult>>,
+    },
+}
+
+/// How a report executes its sweep: replication seeds, worker threads,
+/// and the execution mode (full, sharded, or merge).
 #[derive(Debug, Clone, Default)]
 pub struct SweepOpts {
     /// Replication seeds; every scenario runs once per seed and cells
@@ -31,13 +108,35 @@ pub struct SweepOpts {
     pub seeds: Vec<u64>,
     /// Worker threads (`0` = one per available core).
     pub threads: usize,
+    /// Full, sharded, or merge execution.
+    pub mode: SweepMode,
 }
 
 impl SweepOpts {
     /// Execute `scenarios` under these options.
     pub fn run(&self, scenarios: Vec<Scenario>) -> Vec<ScenarioResult> {
         let plan = SweepPlan::new(scenarios).with_seeds(self.seeds.clone());
-        SweepExecutor::parallel(self.threads).run(&plan)
+        let executor = SweepExecutor::parallel(self.threads);
+        match &self.mode {
+            SweepMode::Run => executor.run(&plan),
+            SweepMode::Shard { index, of, sink } => {
+                let shard = executor.run_shard(&plan, *index, *of);
+                sink.lock().unwrap().push(shard.encode());
+                shard.partial_results(&plan)
+            }
+            SweepMode::Merge { pool } => {
+                let fp = plan.fingerprint();
+                let mine = pool.iter().filter(|s| s.plan_fingerprint == fp);
+                match ShardResult::merge(&plan, mine) {
+                    Ok(results) => results,
+                    Err(e) => std::panic::panic_any(MergeError(format!(
+                        "cannot merge shard payloads for this sweep: {e}\n\
+                         (were all shards produced by the same figures \
+                         flags — --quick, --seeds, --replications?)"
+                    ))),
+                }
+            }
+        }
     }
 }
 
@@ -782,6 +881,7 @@ mod tests {
         let opts = SweepOpts {
             seeds: vec![42, 43, 44],
             threads: 0,
+            ..Default::default()
         };
         let (r, _) = throughput_curves(&[("s1", 1)], &[5], &rc, &opts);
         assert!(r.contains('±'), "replicated table must carry CIs:\n{r}");

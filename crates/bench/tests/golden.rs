@@ -1,0 +1,59 @@
+//! Golden determinism tests for the `figures` pivot tables.
+//!
+//! fig2 (simulation-backed, `--quick` scale) and fig7 (analytic) are
+//! rendered to strings and compared byte-for-byte against checked-in
+//! snapshots. Anything that moves these tables — simulator behaviour,
+//! CI/table formatting, column layout — now fails loudly and must be a
+//! deliberate snapshot update:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p xsched-bench --test golden
+//! ```
+//!
+//! The snapshots double as cross-machine determinism evidence: the same
+//! commit must print the same bytes on every host and thread count.
+
+use xsched_bench::{fig2_report, fig7_report, quick_rc, SweepOpts};
+
+fn check(name: &str, rendered: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, rendered).expect("write golden snapshot");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden snapshot {path:?}: {e}"));
+    assert_eq!(
+        rendered, want,
+        "rendered {name} drifted from its golden snapshot; if the change \
+         is deliberate, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+/// fig2 in `--quick` mode (the exact configuration the CLI uses) must
+/// render byte-identically, regardless of worker thread count.
+#[test]
+fn fig2_quick_table_matches_golden_snapshot() {
+    let opts = SweepOpts {
+        threads: 0,
+        ..Default::default()
+    };
+    let report = fig2_report(&quick_rc(), &opts);
+    check("fig2_quick.txt", &report);
+    // The determinism claim itself: another pass under a different
+    // thread count prints the same bytes.
+    let serial = SweepOpts {
+        threads: 1,
+        ..Default::default()
+    };
+    assert_eq!(report, fig2_report(&quick_rc(), &serial));
+}
+
+/// fig7 is analytic (MVA): the snapshot pins number formatting and the
+/// 80%/95% MPL loci.
+#[test]
+fn fig7_table_matches_golden_snapshot() {
+    check("fig7.txt", &fig7_report());
+}

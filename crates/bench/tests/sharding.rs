@@ -1,0 +1,105 @@
+//! Integration test of the full shard → encode → decode → merge pipeline
+//! at the report level: a report rendered from merged shard payloads must
+//! be byte-identical to the same report rendered by a normal run.
+
+use std::sync::{Arc, Mutex};
+use xsched_bench::{rt_open_report, MergeError, SweepMode, SweepOpts};
+use xsched_core::shard::decode_payloads;
+use xsched_core::RunConfig;
+
+fn tiny_rc() -> RunConfig {
+    RunConfig {
+        warmup_txns: 20,
+        measured_txns: 120,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn report_merged_from_shards_is_byte_identical_to_a_direct_run() {
+    let rc = tiny_rc();
+    let direct = rt_open_report(
+        &rc,
+        &SweepOpts {
+            threads: 0,
+            ..Default::default()
+        },
+    );
+
+    // Simulate three independent shard processes, round-tripping each
+    // payload through the wire format.
+    let mut stream = String::new();
+    for index in 0..3 {
+        let sink = Arc::new(Mutex::new(Vec::new()));
+        let opts = SweepOpts {
+            threads: 2,
+            mode: SweepMode::Shard {
+                index,
+                of: 3,
+                sink: Arc::clone(&sink),
+            },
+            ..Default::default()
+        };
+        rt_open_report(&rc, &opts);
+        for payload in sink.lock().unwrap().iter() {
+            stream.push_str("# experiment rt_open\n");
+            stream.push_str(payload);
+        }
+    }
+
+    let pool = decode_payloads(&stream).expect("payloads decode");
+    assert_eq!(pool.len(), 3, "one payload per shard");
+    let merged = rt_open_report(
+        &rc,
+        &SweepOpts {
+            mode: SweepMode::Merge {
+                pool: Arc::new(pool),
+            },
+            ..Default::default()
+        },
+    );
+    assert_eq!(direct, merged, "merged tables must be byte-identical");
+}
+
+#[test]
+fn merge_with_missing_shard_raises_a_typed_user_error() {
+    let rc = tiny_rc();
+    let sink = Arc::new(Mutex::new(Vec::new()));
+    rt_open_report(
+        &rc,
+        &SweepOpts {
+            threads: 2,
+            mode: SweepMode::Shard {
+                index: 0,
+                of: 2,
+                sink: Arc::clone(&sink),
+            },
+            ..Default::default()
+        },
+    );
+    let payload = sink.lock().unwrap().join("");
+    let pool = decode_payloads(&payload).unwrap();
+    let outcome = std::panic::catch_unwind(|| {
+        rt_open_report(
+            &rc,
+            &SweepOpts {
+                mode: SweepMode::Merge {
+                    pool: Arc::new(pool),
+                },
+                ..Default::default()
+            },
+        )
+    });
+    // The panic payload is the typed MergeError the figures binary
+    // downcasts — the user-error contract, not a string-prefix match.
+    let err = outcome.expect_err("incomplete partition must fail");
+    let merge = err
+        .downcast_ref::<MergeError>()
+        .expect("payload is a typed MergeError");
+    assert!(
+        merge.0.contains("cannot merge shard payloads"),
+        "{}",
+        merge.0
+    );
+    assert!(merge.0.contains("incomplete partition"), "{}", merge.0);
+}

@@ -17,15 +17,17 @@
 //! Paired seeds: every run of a driver uses the same workload stream, so
 //! comparisons across MPLs or policies are common-random-number paired.
 
+use crate::cache::MeasurementCache;
 use crate::controller::{
     ControllerConfig, Decision, IterationRecord, MplController, Reference, Targets,
 };
 use crate::policy::{Fifo, PriorityFifo, QueuePolicy, QueuedTxn, Sjf, WeightedFair};
 use crate::scheduler::ExternalScheduler;
 use serde::Serialize;
+use std::sync::Arc;
 use xsched_dbms::txn::{PageId, Priority};
 use xsched_dbms::{DbmsMetrics, DbmsSim, StepOutcome};
-use xsched_sim::{SampleSet, SimRng, SimTime, Welford};
+use xsched_sim::{BatchMeans, SampleSet, SimRng, SimTime, Welford};
 use xsched_workload::{ArrivalProcess, Setup, TxnGen};
 
 /// Length and bookkeeping of one simulation run.
@@ -89,6 +91,12 @@ pub enum PolicyKind {
     WeightedFair,
 }
 
+/// Completions per batch for the per-run batch-means response-time CI —
+/// the controller's observation windows close at about this many
+/// transactions (paper §4.3), so single-run CIs are computed at the same
+/// scale the controller reacts on.
+pub const BM_BATCH_TXNS: u64 = 100;
+
 /// Measured outcome of one run.
 #[derive(Debug, Clone, Serialize)]
 pub struct RunResult {
@@ -110,6 +118,10 @@ pub struct RunResult {
     pub p95_rt: f64,
     /// Squared coefficient of variation of response times.
     pub c2_rt: f64,
+    /// 95% batch-means half-width of `mean_rt` over this *single* run
+    /// (batches of [`BM_BATCH_TXNS`] completions, the controller's window
+    /// scale) — infinite when the run is too short for two batches.
+    pub rt_bm_half_width: f64,
     /// Mean time spent waiting in the external queue, seconds.
     pub mean_external_wait: f64,
     /// Mean time spent blocked in lock queues inside the DBMS, seconds.
@@ -204,6 +216,7 @@ pub struct ControllerOutcome {
 pub struct Driver {
     setup: Setup,
     rc: RunConfig,
+    cache: Option<Arc<MeasurementCache>>,
 }
 
 impl Driver {
@@ -212,12 +225,22 @@ impl Driver {
         Driver {
             setup,
             rc: RunConfig::default(),
+            cache: None,
         }
     }
 
     /// Override the run configuration.
     pub fn with_config(mut self, rc: RunConfig) -> Driver {
         self.rc = rc;
+        self
+    }
+
+    /// Serve [`Driver::reference`] through a shared measurement cache.
+    /// Cached results are bit-identical to uncached ones (a reference run
+    /// is a pure function of the cache key), so this only changes
+    /// wall-clock time.
+    pub fn with_cache(mut self, cache: Arc<MeasurementCache>) -> Driver {
+        self.cache = Some(cache);
         self
     }
 
@@ -247,8 +270,24 @@ impl Driver {
 
     /// Run without an effective MPL (limit = client population): the
     /// paper's "original system" baseline.
+    ///
+    /// When a [`MeasurementCache`] is attached ([`Driver::with_cache`])
+    /// this measurement is memoized under the full
+    /// `(setup, run config, seed)` fingerprint — the sweep layer attaches
+    /// one cache per sweep, so open-load grids resolve each setup's
+    /// capacity once per seed instead of once per cell.
     pub fn reference(&self) -> RunResult {
-        self.run(self.setup.clients, PolicyKind::Fifo, &self.saturated())
+        let measure = || self.run(self.setup.clients, PolicyKind::Fifo, &self.saturated());
+        match &self.cache {
+            Some(cache) => {
+                // The Debug rendering of the setup and run config covers
+                // every field either contains (including the seed), so the
+                // key fingerprints everything the measurement depends on.
+                let key = format!("reference|{:?}|{:?}", self.setup, self.rc);
+                (*cache.get_or_measure(key, measure)).clone()
+            }
+            None => measure(),
+        }
     }
 
     /// Throughput (and everything else) at each MPL in `mpls`, saturated
@@ -420,6 +459,7 @@ impl Driver {
         let mut meas_start_t = 0.0;
         let mut meas_end_t = 0.0;
         let mut rt_all = Welford::new();
+        let mut rt_bm = BatchMeans::new(BM_BATCH_TXNS);
         let mut rt_hi = Welford::new();
         let mut rt_lo = Welford::new();
         let mut ext_wait = Welford::new();
@@ -464,6 +504,7 @@ impl Driver {
                         } else if measuring {
                             let rt = c.response_time();
                             rt_all.push(rt);
+                            rt_bm.push(rt);
                             samples.push(rt);
                             ext_wait.push(c.external_wait());
                             lock_wait.push(c.lock_wait);
@@ -511,6 +552,7 @@ impl Driver {
             count_low: rt_lo.count(),
             p95_rt: samples.percentile(0.95),
             c2_rt: rt_all.c2(),
+            rt_bm_half_width: rt_bm.ci(0.95).half_width,
             mean_external_wait: ext_wait.mean(),
             mean_lock_wait: lock_wait.mean(),
             aborts_per_txn: if measured == 0 {

@@ -25,20 +25,30 @@
 //!   run configuration), pure in `(scenario, seed)`;
 //! * [`sweep`] — [`SweepPlan`] (scenarios × replication seeds) and the
 //!   multi-threaded [`SweepExecutor`], bit-identical to serial execution
-//!   and feeding Student-t confidence intervals from replications.
+//!   and feeding Student-t confidence intervals from replications;
+//! * [`cache`] — the plan-level [`MeasurementCache`] memoizing capacity
+//!   (reference) runs so open-load grids measure each `(setup, seed)`
+//!   capacity exactly once;
+//! * [`shard`] — [`ShardResult`] and its bit-exact merge/codec, so a
+//!   sweep's flat task grid can be split across processes or hosts and
+//!   reassembled identically to an unsharded run.
 
+pub mod cache;
 pub mod controller;
 pub mod driver;
 pub mod gate;
 pub mod policy;
 pub mod scenario;
 pub mod scheduler;
+pub mod shard;
 pub mod sweep;
 
+pub use cache::MeasurementCache;
 pub use controller::{ControllerConfig, Decision, MplController, Reference, Targets};
 pub use driver::{ControllerOutcome, Driver, PolicyKind, PriorityOutcome, RunConfig, RunResult};
 pub use gate::MplGate;
 pub use policy::{Fifo, PriorityFifo, QueuePolicy, QueuedTxn, Sjf, WeightedFair};
 pub use scenario::{ArrivalSpec, ExecSpec, MplSpec, Scenario, ScenarioOutcome};
 pub use scheduler::ExternalScheduler;
+pub use shard::ShardResult;
 pub use sweep::{ScenarioResult, SweepExecutor, SweepPlan};

@@ -12,9 +12,11 @@
 //! reified here, a new experiment is one struct literal instead of a new
 //! sweep function.
 
+use crate::cache::MeasurementCache;
 use crate::controller::Targets;
 use crate::driver::{ControllerOutcome, Driver, PolicyKind, PriorityOutcome, RunConfig, RunResult};
 use serde::Serialize;
+use std::sync::Arc;
 use xsched_workload::{ArrivalProcess, Setup};
 
 /// How a run's MPL is chosen.
@@ -135,11 +137,23 @@ impl Scenario {
     /// Execute this scenario under `seed`. Pure: identical `(self, seed)`
     /// always produce an identical outcome, bit for bit.
     pub fn run(&self, seed: u64) -> ScenarioOutcome {
+        self.run_cached(seed, None)
+    }
+
+    /// Execute this scenario under `seed`, serving capacity (reference)
+    /// measurements through `cache` when one is supplied. The sweep
+    /// executor shares one cache across a whole plan so open-load grids
+    /// measure each `(setup, run config, seed)` capacity exactly once.
+    /// Purity is preserved: cached and uncached runs are bit-identical.
+    pub fn run_cached(&self, seed: u64, cache: Option<&Arc<MeasurementCache>>) -> ScenarioOutcome {
         let rc = RunConfig {
             seed,
             ..self.rc.clone()
         };
-        let driver = Driver::new(self.setup.clone()).with_config(rc);
+        let mut driver = Driver::new(self.setup.clone()).with_config(rc);
+        if let Some(cache) = cache {
+            driver = driver.with_cache(Arc::clone(cache));
+        }
         match &self.exec {
             ExecSpec::Run {
                 mpl,
@@ -213,6 +227,10 @@ impl ScenarioOutcome {
                 ("c2_rt", r.c2_rt),
                 ("mean_external_wait", r.mean_external_wait),
                 ("mean_lock_wait", r.mean_lock_wait),
+                // Companion to `mean_rt`: the per-run batch-means CI
+                // half-width, so `Replications::summary("mean_rt", ..)`
+                // can print both CI flavors.
+                ("mean_rt_bm_hw", r.rt_bm_half_width),
                 ("aborts_per_txn", r.aborts_per_txn),
                 ("log_util", r.metrics.log_utilization()),
                 ("disk_util", r.metrics.disk_utilization()),

@@ -10,10 +10,12 @@
 //! [`Replications`] accumulator so reports can print Student-t confidence
 //! intervals next to every mean.
 
+use crate::cache::MeasurementCache;
 use crate::scenario::{Scenario, ScenarioOutcome};
+use crate::shard::ShardResult;
 use serde::Serialize;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use xsched_sim::{ConfidenceInterval, Replications};
 
 /// Scenarios × replication seeds: the unit of execution.
@@ -53,8 +55,11 @@ impl SweepPlan {
         self.with_seeds(seeds)
     }
 
-    /// The `(scenario index, seed)` tasks this plan expands to.
-    fn tasks(&self) -> Vec<(usize, u64)> {
+    /// The `(scenario index, seed)` tasks this plan expands to, in the
+    /// canonical order every executor and shard uses: row-major over
+    /// scenarios × seeds. Task *index* in this list is the unit of
+    /// sharding and result placement.
+    pub fn tasks(&self) -> Vec<(usize, u64)> {
         if self.seeds.is_empty() {
             self.scenarios
                 .iter()
@@ -70,9 +75,40 @@ impl SweepPlan {
         }
     }
 
-    /// Number of `(scenario, seed)` tasks this plan expands to.
+    /// Number of `(scenario, seed)` tasks this plan expands to — by
+    /// definition `tasks().len()`, so the empty-seeds rule lives in one
+    /// place.
     pub fn task_count(&self) -> usize {
-        self.scenarios.len() * self.seeds.len().max(1)
+        self.tasks().len()
+    }
+
+    /// The task indices shard `index` of `of` executes: the strided slice
+    /// `index, index + of, index + 2·of, …`, which balances load when
+    /// neighbouring grid cells have similar cost.
+    pub fn shard(&self, index: usize, of: usize) -> Vec<usize> {
+        assert!(of > 0, "a sweep splits into at least one shard");
+        assert!(index < of, "shard index {index} out of range for {of}");
+        (index..self.task_count()).step_by(of).collect()
+    }
+
+    /// Order-sensitive fingerprint of everything execution depends on
+    /// (scenarios and seed list). Shard payloads carry it so a merge can
+    /// refuse results produced from a different plan.
+    ///
+    /// The hash covers the Debug rendering, which is platform-independent
+    /// but only guaranteed stable for binaries built by the *same Rust
+    /// toolchain* — build the shard and merge binaries from the same
+    /// commit and toolchain (a mismatch fails safe: the merge refuses).
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over the Debug rendering: every field of every scenario
+        // participates, and the rendering is stable across platforms.
+        let text = format!("{:?}|{:?}", self.scenarios, self.seeds);
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in text.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
     }
 
     /// True when the plan has no scenarios.
@@ -111,15 +147,19 @@ impl ScenarioResult {
 }
 
 /// Fans a [`SweepPlan`]'s tasks across OS threads.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SweepExecutor {
     threads: usize,
+    cache: Option<Arc<MeasurementCache>>,
 }
 
 impl SweepExecutor {
     /// Run everything on the calling thread, in plan order.
     pub fn serial() -> SweepExecutor {
-        SweepExecutor { threads: 1 }
+        SweepExecutor {
+            threads: 1,
+            cache: None,
+        }
     }
 
     /// Use `threads` workers; `0` means one per available core.
@@ -129,7 +169,19 @@ impl SweepExecutor {
         } else {
             threads
         };
-        SweepExecutor { threads }
+        SweepExecutor {
+            threads,
+            cache: None,
+        }
+    }
+
+    /// Share (and expose) the measurement cache across runs instead of
+    /// creating a fresh one per [`SweepExecutor::run`] — for inspecting
+    /// hit/miss counters or amortizing capacity runs across sweeps of the
+    /// same setups.
+    pub fn with_cache(mut self, cache: Arc<MeasurementCache>) -> SweepExecutor {
+        self.cache = Some(cache);
+        self
     }
 
     /// Worker count this executor will use.
@@ -141,69 +193,116 @@ impl SweepExecutor {
     ///
     /// Tasks are claimed from a shared counter and their outcomes stored
     /// by task index, so the assembled results — and every float in them —
-    /// are identical whether `threads` is 1 or 64.
+    /// are identical whether `threads` is 1 or 64. Implemented as the
+    /// degenerate sharded run (one shard covering everything) aggregated
+    /// through the same `assemble` path a merge uses, so sharded and
+    /// unsharded execution cannot drift apart (the property tests in
+    /// `tests/props.rs` additionally pin `merge(shards) ≡ run` bitwise).
     pub fn run(&self, plan: &SweepPlan) -> Vec<ScenarioResult> {
+        let full = self.run_shard(plan, 0, 1);
+        assemble(plan, full.entries)
+    }
+
+    /// Execute shard `index` of `of` — the strided task slice
+    /// [`SweepPlan::shard`] — and return its slot-indexed outcomes.
+    ///
+    /// Shards are independent: split a plan across processes or hosts,
+    /// ship each [`ShardResult`] back (see [`ShardResult::encode`]), and
+    /// [`ShardResult::merge`] reassembles the full sweep bit-identically
+    /// to an unsharded run.
+    pub fn run_shard(&self, plan: &SweepPlan, index: usize, of: usize) -> ShardResult {
         let tasks = plan.tasks();
+        let mine = plan.shard(index, of);
+        let cache = self.cache.clone().unwrap_or_else(MeasurementCache::shared);
 
         let slots: Vec<Mutex<Option<ScenarioOutcome>>> =
-            tasks.iter().map(|_| Mutex::new(None)).collect();
+            mine.iter().map(|_| Mutex::new(None)).collect();
 
-        if self.threads <= 1 || tasks.len() <= 1 {
-            for (t, slot) in tasks.iter().zip(&slots) {
-                let (si, seed) = *t;
-                *slot.lock().unwrap() = Some(plan.scenarios[si].run(seed));
+        if self.threads <= 1 || mine.len() <= 1 {
+            for (&t, slot) in mine.iter().zip(&slots) {
+                let (si, seed) = tasks[t];
+                *slot.lock().unwrap() = Some(plan.scenarios[si].run_cached(seed, Some(&cache)));
             }
         } else {
             let next = AtomicUsize::new(0);
-            let workers = self.threads.min(tasks.len());
+            let workers = self.threads.min(mine.len());
             std::thread::scope(|scope| {
                 for _ in 0..workers {
                     scope.spawn(|| loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(&(si, seed)) = tasks.get(i) else {
+                        let Some(&t) = mine.get(i) else {
                             break;
                         };
-                        let outcome = plan.scenarios[si].run(seed);
+                        let (si, seed) = tasks[t];
+                        let outcome = plan.scenarios[si].run_cached(seed, Some(&cache));
                         *slots[i].lock().unwrap() = Some(outcome);
                     });
                 }
             });
         }
 
-        let mut outcomes: Vec<Vec<ScenarioOutcome>> =
-            plan.scenarios.iter().map(|_| Vec::new()).collect();
-        for (&(si, _), slot) in tasks.iter().zip(slots) {
-            let outcome = slot
-                .into_inner()
-                .unwrap()
-                .expect("every sweep task produces an outcome");
-            outcomes[si].push(outcome);
-        }
-
-        plan.scenarios
-            .iter()
-            .zip(outcomes)
-            .map(|(scenario, outcomes)| {
-                let mut reps = Replications::new();
-                for o in &outcomes {
-                    for (k, v) in o.metrics() {
-                        reps.push(k, v);
-                    }
-                }
-                ScenarioResult {
-                    scenario: scenario.clone(),
-                    outcomes,
-                    reps,
-                }
+        let entries = mine
+            .into_iter()
+            .zip(slots)
+            .map(|(t, slot)| {
+                let outcome = slot
+                    .into_inner()
+                    .unwrap()
+                    .expect("every sweep task produces an outcome");
+                (t, outcome)
             })
-            .collect()
+            .collect();
+        ShardResult {
+            shard: index,
+            of,
+            plan_fingerprint: plan.fingerprint(),
+            task_count: tasks.len(),
+            entries,
+        }
     }
+}
+
+/// Aggregate task-indexed outcomes into per-scenario results.
+///
+/// Tolerates missing task indices (a partial shard aggregates whatever it
+/// has); entries must be unique per index and are consumed in task order
+/// so replication order always matches seed order.
+pub(crate) fn assemble(
+    plan: &SweepPlan,
+    mut entries: Vec<(usize, ScenarioOutcome)>,
+) -> Vec<ScenarioResult> {
+    let tasks = plan.tasks();
+    entries.sort_by_key(|(t, _)| *t);
+    let mut outcomes: Vec<Vec<ScenarioOutcome>> =
+        plan.scenarios.iter().map(|_| Vec::new()).collect();
+    for (t, outcome) in entries {
+        outcomes[tasks[t].0].push(outcome);
+    }
+    plan.scenarios
+        .iter()
+        .zip(outcomes)
+        .map(|(scenario, outcomes)| {
+            let mut reps = Replications::new();
+            for o in &outcomes {
+                for (k, v) in o.metrics() {
+                    reps.push(k, v);
+                }
+            }
+            ScenarioResult {
+                scenario: scenario.clone(),
+                outcomes,
+                reps,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::driver::RunConfig;
+    use crate::driver::{PolicyKind, RunConfig};
+    use crate::scenario::{ArrivalSpec, ExecSpec, MplSpec};
+    use crate::shard::encode_outcome;
     use xsched_workload::setup;
 
     fn quick_plan() -> SweepPlan {
@@ -241,6 +340,83 @@ mod tests {
                 p.mean("throughput").to_bits()
             );
         }
+    }
+
+    /// The acceptance criterion for the plan-level capacity cache: an
+    /// OpenLoad grid with S setups × L loads × R seeds performs exactly
+    /// S×R capacity measurements — every additional load cell is a cache
+    /// hit — and the cached results are bit-identical to uncached runs.
+    #[test]
+    fn open_load_grid_measures_capacity_once_per_setup_and_seed() {
+        let rc = RunConfig {
+            warmup_txns: 20,
+            measured_txns: 100,
+            ..Default::default()
+        };
+        let setups = [1u32, 2]; // S = 2
+        let loads = [0.5, 0.7, 0.9]; // L = 3
+        let scenarios: Vec<Scenario> = setups
+            .iter()
+            .flat_map(|&id| {
+                let rc = rc.clone();
+                loads.iter().map(move |&load| Scenario {
+                    row: format!("setup {id}"),
+                    col: format!("load {load}"),
+                    setup: setup(id),
+                    exec: ExecSpec::Run {
+                        mpl: MplSpec::Fixed(5),
+                        policy: PolicyKind::Fifo,
+                        arrivals: ArrivalSpec::OpenLoad(load),
+                    },
+                    rc: rc.clone(),
+                })
+            })
+            .collect();
+        let plan = SweepPlan::new(scenarios).replicated(2, 42); // R = 2
+
+        let cache = MeasurementCache::shared();
+        let cached = SweepExecutor::parallel(4)
+            .with_cache(Arc::clone(&cache))
+            .run(&plan);
+        assert_eq!(cache.misses(), 4, "exactly S×R capacity measurements");
+        assert_eq!(cache.hits(), 8, "the other S×(L−1)×R lookups are hits");
+
+        // Bit-identical to the uncached path, outcome field by field.
+        for (si, result) in cached.iter().enumerate() {
+            for (seed, outcome) in plan.seeds.iter().zip(&result.outcomes) {
+                let uncached = plan.scenarios[si].run(*seed);
+                assert_eq!(encode_outcome(outcome), encode_outcome(&uncached));
+            }
+        }
+    }
+
+    #[test]
+    fn task_count_always_matches_tasks_len() {
+        // The empty-seeds rule is derived, not duplicated: pin the
+        // equality on the edge cases.
+        let rc = RunConfig::quick();
+        let scenario = Scenario::tput("s1", setup(1), 5, rc);
+        for (scenarios, seeds) in [
+            (vec![], vec![]),                      // empty plan
+            (vec![], vec![1, 2, 3]),               // seeds but nothing to run
+            (vec![scenario.clone()], vec![]),      // per-scenario seeds
+            (vec![scenario.clone()], vec![7]),     // one seed
+            (vec![scenario; 3], vec![1, 2, 3, 4]), // full grid
+        ] {
+            let plan = SweepPlan::new(scenarios).with_seeds(seeds);
+            assert_eq!(plan.task_count(), plan.tasks().len());
+        }
+    }
+
+    #[test]
+    fn strided_shards_partition_the_task_list() {
+        let plan = quick_plan(); // 9 tasks
+        for n in 1..=5 {
+            let mut all: Vec<usize> = (0..n).flat_map(|i| plan.shard(i, n)).collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..plan.task_count()).collect::<Vec<_>>(), "n={n}");
+        }
+        assert!(plan.shard(3, 4).iter().all(|t| t % 4 == 3));
     }
 
     #[test]

@@ -27,5 +27,5 @@ pub mod zipf;
 pub use dist::Dist;
 pub use engine::EventQueue;
 pub use rng::SimRng;
-pub use stats::{ConfidenceInterval, Replications, SampleSet, TimeWeighted, Welford};
+pub use stats::{BatchMeans, ConfidenceInterval, Replications, SampleSet, TimeWeighted, Welford};
 pub use time::SimTime;

@@ -229,6 +229,90 @@ impl Replications {
     pub fn keys(&self) -> impl Iterator<Item = &str> {
         self.metrics.iter().map(|(k, _)| k.as_str())
     }
+
+    /// Render both CI flavors for `key`: the cross-replication Student-t
+    /// interval, and — when the runs reported a companion
+    /// `<key>_bm_hw` metric (the per-run batch-means half-width, see
+    /// [`BatchMeans`]) — the mean per-run interval next to it. The two
+    /// answer different questions: the replication CI bounds seed-to-seed
+    /// variability, the batch-means CI bounds within-run estimation error
+    /// of a single long run.
+    pub fn summary(&self, key: &str, level: f64) -> String {
+        let ci = self.ci(key, level);
+        let pct = (level * 100.0).round() as u32;
+        let mut out = if ci.half_width.is_finite() {
+            format!(
+                "{} = {:.6} ±{:.6} ({}% CI, {} reps)",
+                key,
+                ci.mean,
+                ci.half_width,
+                pct,
+                self.count(key)
+            )
+        } else {
+            format!("{} = {:.6} ({} rep)", key, ci.mean, self.count(key))
+        };
+        let bm = self.mean(&format!("{key}_bm_hw"));
+        if bm.is_finite() && bm > 0.0 {
+            out.push_str(&format!(" [per-run batch-means ±{bm:.6}]"));
+        }
+        out
+    }
+}
+
+/// Batch-means confidence intervals for a *single* long run.
+///
+/// Consecutive observations of a steady-state simulation are
+/// autocorrelated, so a naive Welford CI over them is too narrow. The
+/// classic fix — and what the controller's observation windows already do
+/// implicitly — is to group consecutive observations into fixed-size
+/// batches and treat the batch means as (approximately) independent
+/// samples. This accumulator does exactly that: `push` observations in
+/// arrival order, and [`BatchMeans::ci`] returns a Student-t interval over
+/// the completed batch means. A trailing partial batch is ignored.
+#[derive(Debug, Clone, Serialize)]
+pub struct BatchMeans {
+    batch_size: u64,
+    current: Welford,
+    batches: Welford,
+}
+
+impl BatchMeans {
+    /// An accumulator grouping observations into batches of `batch_size`
+    /// (must be nonzero).
+    pub fn new(batch_size: u64) -> BatchMeans {
+        assert!(batch_size > 0, "batch size must be nonzero");
+        BatchMeans {
+            batch_size,
+            current: Welford::new(),
+            batches: Welford::new(),
+        }
+    }
+
+    /// Add one observation, in arrival order.
+    pub fn push(&mut self, x: f64) {
+        self.current.push(x);
+        if self.current.count() == self.batch_size {
+            self.batches.push(self.current.mean());
+            self.current = Welford::new();
+        }
+    }
+
+    /// Number of completed batches.
+    pub fn batches(&self) -> u64 {
+        self.batches.count()
+    }
+
+    /// Mean over the completed batches (0 when none completed).
+    pub fn mean(&self) -> f64 {
+        self.batches.mean()
+    }
+
+    /// Student-t confidence interval over the completed batch means.
+    /// Infinite half-width with fewer than two completed batches.
+    pub fn ci(&self, level: f64) -> ConfidenceInterval {
+        self.batches.confidence_interval(level)
+    }
 }
 
 /// A batch of samples supporting percentile queries.
@@ -466,6 +550,84 @@ mod tests {
         let mut r = Replications::new();
         r.push("x", 1.0);
         assert!(r.ci("x", 0.95).half_width.is_infinite());
+    }
+
+    #[test]
+    fn batch_means_needs_two_batches_for_a_finite_ci() {
+        let mut bm = BatchMeans::new(10);
+        for i in 0..19 {
+            bm.push(i as f64);
+        }
+        // One completed batch + a partial one: no interval yet.
+        assert_eq!(bm.batches(), 1);
+        assert!(bm.ci(0.95).half_width.is_infinite());
+        bm.push(19.0);
+        assert_eq!(bm.batches(), 2);
+        assert!(bm.ci(0.95).half_width.is_finite());
+    }
+
+    /// The satellite requirement: on an M/M/1-style run (autocorrelated
+    /// response times from one long simulated sample path) the batch-means
+    /// window CI must bracket the known analytic mean 1/(μ − λ).
+    #[test]
+    fn batch_means_ci_brackets_mm1_analytic_mean() {
+        use crate::rng::SimRng;
+        let (lambda, mu) = (0.8, 1.0);
+        let analytic = 1.0 / (mu - lambda); // M/M/1 mean response time = 5.0
+        let mut rng = SimRng::seed_from_u64(7);
+        // Lindley recursion: W_{k+1} = max(0, W_k + S_k − A_{k+1});
+        // response time = wait + own service.
+        let mut bm = BatchMeans::new(2_000);
+        let mut w = 0.0f64;
+        for _ in 0..400_000 {
+            let s = rng.exp(1.0 / mu);
+            bm.push(w + s);
+            let a = rng.exp(1.0 / lambda);
+            w = (w + s - a).max(0.0);
+        }
+        let ci = bm.ci(0.95);
+        assert!(bm.batches() >= 100);
+        assert!(
+            (ci.mean - analytic).abs() <= ci.half_width,
+            "CI {:.3} ±{:.3} must bracket analytic {analytic}",
+            ci.mean,
+            ci.half_width
+        );
+        // And the interval is informative, not vacuous.
+        assert!(ci.half_width < 0.5 * analytic, "hw {}", ci.half_width);
+    }
+
+    #[test]
+    fn batch_means_on_iid_samples_matches_plain_welford_mean() {
+        use crate::rng::SimRng;
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut bm = BatchMeans::new(100);
+        let mut w = Welford::new();
+        for _ in 0..50_000 {
+            let x = rng.exp(0.5);
+            bm.push(x);
+            w.push(x);
+        }
+        assert!((bm.mean() - w.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replications_summary_prints_both_ci_flavors() {
+        let mut r = Replications::new();
+        for seed in 0..4 {
+            r.push("mean_rt", 0.5 + 0.01 * seed as f64);
+            r.push("mean_rt_bm_hw", 0.02);
+        }
+        let s = r.summary("mean_rt", 0.95);
+        assert!(s.contains('±'), "cross-replication CI missing: {s}");
+        assert!(s.contains("batch-means"), "per-run CI flavor missing: {s}");
+        assert!(s.contains("4 reps"), "rep count missing: {s}");
+        // Without the companion metric only one flavor appears.
+        let mut lone = Replications::new();
+        lone.push("throughput", 100.0);
+        lone.push("throughput", 101.0);
+        let s = lone.summary("throughput", 0.95);
+        assert!(s.contains('±') && !s.contains("batch-means"), "{s}");
     }
 
     #[test]
