@@ -1,0 +1,110 @@
+//! Hot-path baseline benchmark: `figures --quick`-scale sweeps through
+//! the sweep executor, timed by the vendored criterion harness, plus a
+//! raw simulator events/second measurement — written out as
+//! machine-readable `BENCH_hotpath.json` so CI can archive the repo's
+//! perf trajectory run over run.
+//!
+//! ```text
+//! cargo bench -p xsched-bench --bench hotpath
+//! BENCH_JSON_PATH=/tmp/b.json cargo bench -p xsched-bench --bench hotpath
+//! ```
+//!
+//! The JSON carries one entry per figure (mean/min wall seconds per full
+//! sweep) and an `events` block with the raw event-loop rate. Figures run
+//! through the same `SweepOpts`/`SweepExecutor` path the `figures` binary
+//! uses, so these numbers track exactly what an operator waits on.
+
+use criterion::{black_box, Criterion};
+use std::io::Write as _;
+use std::time::Instant;
+use xsched_bench::{fig2_report, quick_rc, quick_rc_heavy, rt_open_report, SweepOpts};
+use xsched_dbms::{DbmsSim, StepOutcome};
+use xsched_workload::{setup, TxnGen};
+
+/// Raw event-loop rate: a saturated closed system on setup 1 driven
+/// straight against the simulator (no external scheduler), measured over
+/// a fixed number of processed events.
+fn measure_events_per_sec() -> (u64, f64) {
+    const TARGET_EVENTS: u64 = 400_000;
+    const CLIENTS: usize = 16;
+    let s = setup(1);
+    let mut sim = DbmsSim::new(s.hw.clone(), s.cfg.clone(), 7);
+    let mut gen = TxnGen::new(s.workload.clone(), 7);
+    for _ in 0..CLIENTS {
+        let body = gen.next();
+        sim.submit(body, 0.0);
+    }
+    let mut completions = Vec::new();
+    let t0 = Instant::now();
+    while sim.events_processed() < TARGET_EVENTS {
+        if sim.step() == StepOutcome::Idle {
+            unreachable!("closed loop keeps the simulator busy");
+        }
+        sim.drain_completions_into(&mut completions);
+        for _ in completions.drain(..) {
+            let now = sim.now();
+            let body = gen.next();
+            sim.submit(body, now);
+        }
+    }
+    (sim.events_processed(), t0.elapsed().as_secs_f64())
+}
+
+fn figure_benches(c: &mut Criterion) {
+    // threads: 0 = one worker per core, exactly like the figures binary.
+    let opts = SweepOpts {
+        threads: 0,
+        ..Default::default()
+    };
+    c.bench_function("fig2_quick", |b| {
+        b.iter(|| black_box(fig2_report(&quick_rc(), &opts).len()))
+    });
+    c.bench_function("rt_open_quick", |b| {
+        b.iter(|| black_box(rt_open_report(&quick_rc_heavy(), &opts).len()))
+    });
+}
+
+fn json_escape_free(name: &str) -> String {
+    // Bench labels are ASCII identifiers; strip anything that would need
+    // JSON escaping rather than implementing an escaper for no caller.
+    name.chars()
+        .filter(|c| c.is_ascii() && *c != '"' && *c != '\\')
+        .collect()
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    figure_benches(&mut c);
+    let (events, wall) = measure_events_per_sec();
+    let events_per_sec = events as f64 / wall;
+    println!(
+        "{:<40} {events} events in {wall:.3} s  ({:.0} events/s)",
+        "raw_sim/events", events_per_sec
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"xsched-hotpath-v1\",\n  \"figures\": [\n");
+    let records = c.records();
+    for (i, r) in records.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_secs_mean\": {:.6}, \"wall_secs_min\": {:.6}, \"iters\": {}}}{}\n",
+            json_escape_free(&r.name),
+            r.mean_secs,
+            r.min_secs,
+            r.iters,
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"events\": {{\"count\": {events}, \"wall_secs\": {wall:.6}, \"events_per_sec\": {events_per_sec:.1}}}\n"
+    ));
+    json.push_str("}\n");
+
+    let path =
+        std::env::var("BENCH_JSON_PATH").unwrap_or_else(|_| "BENCH_hotpath.json".to_string());
+    let mut f = std::fs::File::create(&path)
+        .unwrap_or_else(|e| panic!("cannot create bench baseline {path}: {e}"));
+    f.write_all(json.as_bytes()).expect("write bench baseline");
+    println!("wrote {path}");
+}

@@ -12,6 +12,11 @@
 //! per-iteration mean and minimum. There is no statistical regression
 //! machinery — swap the real criterion in when network access allows and
 //! the bench sources compile unchanged.
+//!
+//! Beyond printing, every measurement is recorded on the [`Criterion`]
+//! instance ([`Criterion::records`]), so bench binaries with a custom
+//! `main` can emit machine-readable baselines (the `hotpath` bench writes
+//! `BENCH_hotpath.json` from these records).
 
 use std::fmt::Display;
 use std::hint;
@@ -89,13 +94,34 @@ impl Bencher {
     }
 }
 
-fn report(label: &str, b: &Bencher) {
+/// One finished measurement, as recorded on the [`Criterion`] instance.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Full benchmark label (`group/name/param`).
+    pub name: String,
+    /// Mean seconds per iteration.
+    pub mean_secs: f64,
+    /// Fastest observed batch, seconds per iteration.
+    pub min_secs: f64,
+    /// Iterations measured.
+    pub iters: u64,
+}
+
+fn report(label: &str, b: &Bencher, records: &mut Vec<BenchRecord>) {
     match b.result {
-        Some((mean, min, iters)) => println!(
-            "{label:<40} mean {:>12}  min {:>12}  ({iters} iters)",
-            fmt_time(mean),
-            fmt_time(min),
-        ),
+        Some((mean, min, iters)) => {
+            println!(
+                "{label:<40} mean {:>12}  min {:>12}  ({iters} iters)",
+                fmt_time(mean),
+                fmt_time(min),
+            );
+            records.push(BenchRecord {
+                name: label.to_string(),
+                mean_secs: mean,
+                min_secs: min,
+                iters,
+            });
+        }
         None => println!("{label:<40} (no measurement)"),
     }
 }
@@ -116,7 +142,7 @@ fn fmt_time(secs: f64) -> String {
 pub struct BenchmarkGroup<'a> {
     name: String,
     budget: Duration,
-    _parent: &'a mut Criterion,
+    parent: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
@@ -142,7 +168,11 @@ impl BenchmarkGroup<'_> {
     {
         let mut b = Bencher::new(self.budget);
         f(&mut b, input);
-        report(&format!("{}/{}", self.name, id.name), &b);
+        report(
+            &format!("{}/{}", self.name, id.name),
+            &b,
+            &mut self.parent.records,
+        );
         self
     }
 
@@ -153,7 +183,11 @@ impl BenchmarkGroup<'_> {
     {
         let mut b = Bencher::new(self.budget);
         f(&mut b);
-        report(&format!("{}/{}", self.name, id.into().name), &b);
+        report(
+            &format!("{}/{}", self.name, id.into().name),
+            &b,
+            &mut self.parent.records,
+        );
         self
     }
 
@@ -164,12 +198,14 @@ impl BenchmarkGroup<'_> {
 /// Entry point mirroring `criterion::Criterion`.
 pub struct Criterion {
     budget: Duration,
+    records: Vec<BenchRecord>,
 }
 
 impl Default for Criterion {
     fn default() -> Criterion {
         Criterion {
             budget: Duration::from_millis(300),
+            records: Vec::new(),
         }
     }
 }
@@ -181,7 +217,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.to_string(),
             budget,
-            _parent: self,
+            parent: self,
         }
     }
 
@@ -192,8 +228,14 @@ impl Criterion {
     {
         let mut b = Bencher::new(self.budget);
         f(&mut b);
-        report(&name.into().name, &b);
+        let name = name.into().name;
+        report(&name, &b, &mut self.records);
         self
+    }
+
+    /// Every measurement recorded so far, in execution order.
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
     }
 }
 
@@ -232,6 +274,21 @@ mod tests {
         });
         let (mean, min, iters) = b.result.expect("measured");
         assert!(iters > 0 && mean > 0.0 && min > 0.0 && min <= mean * 1.01);
+    }
+
+    #[test]
+    fn measurements_are_recorded() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(5),
+            records: Vec::new(),
+        };
+        c.bench_function("alpha", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("beta", |b| b.iter(|| 2 + 2));
+        g.finish();
+        let names: Vec<&str> = c.records().iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "grp/beta"]);
+        assert!(c.records().iter().all(|r| r.iters > 0 && r.mean_secs > 0.0));
     }
 
     #[test]

@@ -19,22 +19,82 @@
 //! [`MplSpec::AtLoss`]: crate::scenario::MplSpec::AtLoss
 //! [`Scenario::run`]: crate::scenario::Scenario::run
 
-use crate::driver::RunResult;
+use crate::driver::{RunConfig, RunResult};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use xsched_workload::Setup;
 
 type Slot = Arc<Mutex<Option<Arc<RunResult>>>>;
 
-/// Memoizes reference/capacity runs keyed by
-/// `(measurement kind, setup fingerprint, run config, seed)`.
+/// What a cached measurement measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MeasurementKind {
+    /// The MPL-less capacity run of [`Driver::reference`](crate::Driver::reference).
+    Reference,
+}
+
+/// Typed memoization key: measurement kind, structural setup fingerprint,
+/// and every run-config field verbatim (floats as IEEE bit patterns).
 ///
-/// Keys are the full textual fingerprint of everything the measurement
-/// depends on (built by [`Driver::reference`](crate::Driver::reference)),
-/// so distinct configurations can never collide.
+/// This replaces the original `format!("reference|{:?}|{:?}", ...)`
+/// string key, which silently aliased whenever two configurations shared
+/// a `Debug` rendering — a hazard every time a field is added without
+/// showing up in `Debug`, or two floats print identically. Here the
+/// compiler enforces coverage: a new `RunConfig` field breaks this
+/// constructor until it is added to the key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MeasurementKey {
+    kind: MeasurementKind,
+    setup_id: u32,
+    /// 128-bit structural fingerprint of the full setup (workload,
+    /// hardware, DBMS config) — distinguishes `map_cfg` variants sharing
+    /// an id.
+    setup_fp: (u64, u64),
+    warmup_txns: u64,
+    measured_txns: u64,
+    seed: u64,
+    max_sim_time: u64,
+    min_warmup_time: u64,
+    warm_pool: bool,
+    high_fraction: u64,
+}
+
+impl MeasurementKey {
+    /// The key of a [`Driver::reference`](crate::Driver::reference)
+    /// (capacity) measurement under `setup` and `rc`.
+    pub fn reference(setup: &Setup, rc: &RunConfig) -> MeasurementKey {
+        // Exhaustive destructuring (no `..`): adding a `RunConfig` field
+        // fails to compile here until it joins the key.
+        let RunConfig {
+            warmup_txns,
+            measured_txns,
+            seed,
+            max_sim_time,
+            min_warmup_time,
+            warm_pool,
+            high_fraction,
+        } = *rc;
+        MeasurementKey {
+            kind: MeasurementKind::Reference,
+            setup_id: setup.id,
+            setup_fp: setup.stable_fingerprint(),
+            warmup_txns,
+            measured_txns,
+            seed,
+            max_sim_time: max_sim_time.to_bits(),
+            min_warmup_time: min_warmup_time.to_bits(),
+            warm_pool,
+            high_fraction: high_fraction.to_bits(),
+        }
+    }
+}
+
+/// Memoizes reference/capacity runs keyed by [`MeasurementKey`] —
+/// `(measurement kind, setup fingerprint, run config, seed)`.
 #[derive(Debug, Default)]
 pub struct MeasurementCache {
-    slots: Mutex<HashMap<String, Slot>>,
+    slots: Mutex<HashMap<MeasurementKey, Slot>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -58,7 +118,7 @@ impl MeasurementCache {
     /// the result, and callers for *different* keys proceed in parallel.
     pub fn get_or_measure(
         &self,
-        key: String,
+        key: MeasurementKey,
         measure: impl FnOnce() -> RunResult,
     ) -> Arc<RunResult> {
         let slot = {
@@ -103,25 +163,32 @@ mod tests {
     use crate::driver::{Driver, RunConfig};
     use xsched_workload::setup;
 
-    fn quick_result(seed: u64) -> RunResult {
-        let rc = RunConfig {
+    fn quick_rc(seed: u64) -> RunConfig {
+        RunConfig {
             warmup_txns: 20,
             measured_txns: 100,
             seed,
             ..Default::default()
-        };
-        Driver::new(setup(1)).with_config(rc).run(
+        }
+    }
+
+    fn quick_result(seed: u64) -> RunResult {
+        Driver::new(setup(1)).with_config(quick_rc(seed)).run(
             3,
             crate::driver::PolicyKind::Fifo,
             &xsched_workload::ArrivalProcess::saturated(100),
         )
     }
 
+    fn key(seed: u64) -> MeasurementKey {
+        MeasurementKey::reference(&setup(1), &quick_rc(seed))
+    }
+
     #[test]
     fn second_lookup_is_a_hit_and_shares_bits() {
         let cache = MeasurementCache::new();
-        let a = cache.get_or_measure("k".into(), || quick_result(1));
-        let b = cache.get_or_measure("k".into(), || panic!("must not re-measure"));
+        let a = cache.get_or_measure(key(1), || quick_result(1));
+        let b = cache.get_or_measure(key(1), || panic!("must not re-measure"));
         assert_eq!(a.throughput.to_bits(), b.throughput.to_bits());
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
         assert_eq!(cache.len(), 1);
@@ -130,8 +197,8 @@ mod tests {
     #[test]
     fn distinct_keys_measure_independently() {
         let cache = MeasurementCache::new();
-        cache.get_or_measure("seed 1".into(), || quick_result(1));
-        cache.get_or_measure("seed 2".into(), || quick_result(2));
+        cache.get_or_measure(key(1), || quick_result(1));
+        cache.get_or_measure(key(2), || quick_result(2));
         assert_eq!((cache.hits(), cache.misses()), (0, 2));
         assert_eq!(cache.len(), 2);
     }
@@ -143,11 +210,56 @@ mod tests {
             for _ in 0..8 {
                 let cache = Arc::clone(&cache);
                 scope.spawn(move || {
-                    cache.get_or_measure("shared".into(), || quick_result(7));
+                    cache.get_or_measure(key(7), || quick_result(7));
                 });
             }
         });
         assert_eq!(cache.misses(), 1, "per-key lock serializes the measure");
         assert_eq!(cache.hits(), 7);
+    }
+
+    #[test]
+    fn key_covers_every_identifying_field() {
+        let rc = quick_rc(1);
+        let base = MeasurementKey::reference(&setup(1), &rc);
+        // Different setup id.
+        assert_ne!(base, MeasurementKey::reference(&setup(2), &rc));
+        // Same id, mutated DBMS config (the `map_cfg` idiom) — this is
+        // exactly the aliasing class a partial key would miss.
+        let variant = setup(1).map_cfg(|c| c.group_commit = true);
+        assert_ne!(base, MeasurementKey::reference(&variant, &rc));
+        // Every run-config field participates.
+        for mutated in [
+            RunConfig {
+                warmup_txns: 21,
+                ..rc.clone()
+            },
+            RunConfig {
+                measured_txns: 101,
+                ..rc.clone()
+            },
+            RunConfig {
+                seed: 2,
+                ..rc.clone()
+            },
+            RunConfig {
+                max_sim_time: 1.0,
+                ..rc.clone()
+            },
+            RunConfig {
+                min_warmup_time: 1.0,
+                ..rc.clone()
+            },
+            RunConfig {
+                warm_pool: false,
+                ..rc.clone()
+            },
+            RunConfig {
+                high_fraction: 0.25,
+                ..rc.clone()
+            },
+        ] {
+            assert_ne!(base, MeasurementKey::reference(&setup(1), &mutated));
+        }
     }
 }

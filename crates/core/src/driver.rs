@@ -17,7 +17,7 @@
 //! Paired seeds: every run of a driver uses the same workload stream, so
 //! comparisons across MPLs or policies are common-random-number paired.
 
-use crate::cache::MeasurementCache;
+use crate::cache::{MeasurementCache, MeasurementKey};
 use crate::controller::{
     ControllerConfig, Decision, IterationRecord, MplController, Reference, Targets,
 };
@@ -26,7 +26,7 @@ use crate::scheduler::ExternalScheduler;
 use serde::Serialize;
 use std::sync::Arc;
 use xsched_dbms::txn::{PageId, Priority};
-use xsched_dbms::{DbmsMetrics, DbmsSim, StepOutcome};
+use xsched_dbms::{Completion, DbmsMetrics, DbmsSim, StepOutcome};
 use xsched_sim::{BatchMeans, SampleSet, SimRng, SimTime, Welford};
 use xsched_workload::{ArrivalProcess, Setup, TxnGen};
 
@@ -280,10 +280,13 @@ impl Driver {
         let measure = || self.run(self.setup.clients, PolicyKind::Fifo, &self.saturated());
         match &self.cache {
             Some(cache) => {
-                // The Debug rendering of the setup and run config covers
-                // every field either contains (including the seed), so the
-                // key fingerprints everything the measurement depends on.
-                let key = format!("reference|{:?}|{:?}", self.setup, self.rc);
+                // Typed key: the setup's structural fingerprint plus every
+                // run-config field (seed included) verbatim. Unlike the
+                // Debug-formatted string this replaced, the constructor
+                // fails to compile if a config field is added without
+                // joining the key, so distinct configurations cannot
+                // silently alias.
+                let key = MeasurementKey::reference(&self.setup, &self.rc);
                 (*cache.get_or_measure(key, measure)).clone()
             }
             None => measure(),
@@ -466,6 +469,10 @@ impl Driver {
         let mut lock_wait = Welford::new();
         let mut samples = SampleSet::new();
         let mut aborts_at_meas_start = 0u64;
+        // Ping-pong buffer for completions: `drain_completions_into` swaps
+        // it with the simulator's accumulation buffer, so the steady-state
+        // loop never allocates.
+        let mut completions: Vec<Completion> = Vec::new();
 
         'outer: loop {
             match sim.step() {
@@ -483,11 +490,11 @@ impl Driver {
                     }
                 }
                 StepOutcome::Advanced => {
-                    let completions = sim.drain_completions();
+                    sim.drain_completions_into(&mut completions);
                     if completions.is_empty() {
                         continue;
                     }
-                    for c in completions {
+                    for c in completions.drain(..) {
                         completed += 1;
                         sched.complete();
                         if arrivals.is_closed() {

@@ -43,7 +43,7 @@ pub mod scheduler;
 pub mod shard;
 pub mod sweep;
 
-pub use cache::MeasurementCache;
+pub use cache::{MeasurementCache, MeasurementKey, MeasurementKind};
 pub use controller::{ControllerConfig, Decision, MplController, Reference, Targets};
 pub use driver::{ControllerOutcome, Driver, PolicyKind, PriorityOutcome, RunConfig, RunResult};
 pub use gate::MplGate;

@@ -6,12 +6,15 @@
 //! varies the buffer pool between 100 MB and 3 GB to turn the same
 //! benchmark into a CPU-bound or an I/O-bound workload).
 //!
-//! Implementation: intrusive doubly-linked LRU list over a `HashMap`,
-//! O(1) probe and insert — the standard design, sized for tens of millions
-//! of probes per experiment.
+//! Implementation: intrusive doubly-linked LRU list over an Fx-hashed
+//! page map, O(1) probe and insert — the standard design, sized for tens
+//! of millions of probes per experiment. Page ids are plain integers the
+//! workload generator controls, so the map skips SipHash for the
+//! multiply-rotate Fx hash; probes are the single hottest operation in
+//! the simulator.
 
 use crate::txn::PageId;
-use std::collections::HashMap;
+use xsched_sim::FxHashMap;
 
 const NIL: u32 = u32::MAX;
 
@@ -26,7 +29,7 @@ struct Node {
 #[derive(Debug)]
 pub struct BufferPool {
     capacity: usize,
-    map: HashMap<PageId, u32>,
+    map: FxHashMap<PageId, u32>,
     nodes: Vec<Node>,
     free: Vec<u32>,
     head: u32, // most recently used
@@ -41,7 +44,7 @@ impl BufferPool {
         let capacity = capacity.max(1) as usize;
         BufferPool {
             capacity,
-            map: HashMap::with_capacity(capacity.min(1 << 22)),
+            map: FxHashMap::with_capacity_and_hasher(capacity.min(1 << 22), Default::default()),
             nodes: Vec::with_capacity(capacity.min(1 << 22)),
             free: Vec::new(),
             head: NIL,

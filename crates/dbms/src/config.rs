@@ -45,6 +45,27 @@ impl Default for HardwareConfig {
 }
 
 impl HardwareConfig {
+    /// Write a structural fingerprint of every field (floats as IEEE bit
+    /// patterns) — the measurement-cache key's view of this config. The
+    /// exhaustive destructuring (no `..`) makes adding a field without
+    /// fingerprinting it a compile error.
+    pub fn fingerprint_into(&self, fp: &mut xsched_sim::StableFp) {
+        let HardwareConfig {
+            cpus,
+            data_disks,
+            bufferpool_pages,
+            disk_read_time,
+            log_write_time,
+            step_delay,
+        } = *self;
+        fp.write_u32(cpus);
+        fp.write_u32(data_disks);
+        fp.write_u64(bufferpool_pages);
+        fp.write_f64(disk_read_time);
+        fp.write_f64(log_write_time);
+        fp.write_f64(step_delay);
+    }
+
     /// Builder-style setter for the CPU count.
     pub fn with_cpus(mut self, cpus: u32) -> Self {
         self.cpus = cpus;
@@ -168,6 +189,49 @@ impl Default for DbmsConfig {
 }
 
 impl DbmsConfig {
+    /// Write a structural fingerprint of every field — the
+    /// measurement-cache key's view of this config. The exhaustive
+    /// destructuring (no `..`) makes adding a field without
+    /// fingerprinting it a compile error.
+    pub fn fingerprint_into(&self, fp: &mut xsched_sim::StableFp) {
+        let DbmsConfig {
+            isolation,
+            lock_policy,
+            cpu_policy,
+            hit_cpu_time,
+            restart_backoff,
+            max_restarts,
+            deadlock,
+            group_commit,
+            writeback_fraction,
+        } = *self;
+        fp.write_u64(match isolation {
+            IsolationLevel::RepeatableRead => 0,
+            IsolationLevel::UncommittedRead => 1,
+        });
+        fp.write_u64(match lock_policy {
+            LockPriorityPolicy::None => 0,
+            LockPriorityPolicy::PriorityQueue => 1,
+            LockPriorityPolicy::PreemptOnWait => 2,
+        });
+        fp.write_u64(match cpu_policy {
+            CpuPolicy::Fair => 0,
+            CpuPolicy::PrioritizeHigh => 1,
+        });
+        fp.write_f64(hit_cpu_time);
+        fp.write_f64(restart_backoff);
+        fp.write_u32(max_restarts);
+        match deadlock {
+            DeadlockStrategy::Detection => fp.write_u64(0),
+            DeadlockStrategy::Timeout { timeout } => {
+                fp.write_u64(1);
+                fp.write_f64(timeout);
+            }
+        }
+        fp.write_bool(group_commit);
+        fp.write_f64(writeback_fraction);
+    }
+
     /// Builder-style setter for the isolation level.
     pub fn with_isolation(mut self, iso: IsolationLevel) -> Self {
         self.isolation = iso;

@@ -16,20 +16,27 @@
 
 use crate::config::CpuPolicy;
 use crate::txn::{Priority, TxnId};
-use std::collections::HashMap;
 
 #[derive(Debug, Clone)]
 struct CpuJob {
+    txn: TxnId,
     remaining: f64,
     priority: Priority,
 }
 
 /// The shared CPU bank.
+///
+/// The runnable set is a dense vector in arrival order (its size is
+/// bounded by the MPL, so linear scans beat hashing and every iteration
+/// — including the floating-point busy-time accumulation — runs in a
+/// deterministic order). A running count of high-priority jobs keeps the
+/// two-class rate computation O(1).
 #[derive(Debug)]
 pub struct CpuBank {
     cpus: f64,
     policy: CpuPolicy,
-    jobs: HashMap<TxnId, CpuJob>,
+    jobs: Vec<CpuJob>,
+    high_jobs: usize,
     last_sync: f64,
     epoch: u64,
     /// Integral of busy capacity (0..=cpus) over time, for utilization.
@@ -43,7 +50,8 @@ impl CpuBank {
         CpuBank {
             cpus: cpus as f64,
             policy,
-            jobs: HashMap::new(),
+            jobs: Vec::new(),
+            high_jobs: 0,
             last_sync: 0.0,
             epoch: 0,
             busy_area: 0.0,
@@ -81,11 +89,7 @@ impl CpuBank {
         match self.policy {
             CpuPolicy::Fair => (self.cpus / n).min(1.0),
             CpuPolicy::PrioritizeHigh => {
-                let h = self
-                    .jobs
-                    .values()
-                    .filter(|j| j.priority == Priority::High)
-                    .count() as f64;
+                let h = self.high_jobs as f64;
                 let high_rate = if h > 0.0 {
                     (self.cpus / h).min(1.0)
                 } else {
@@ -116,7 +120,7 @@ impl CpuBank {
             // Precompute class rates once; they're uniform within a class.
             let rate_high = self.rate_for(Priority::High);
             let rate_low = self.rate_for(Priority::Low);
-            for job in self.jobs.values_mut() {
+            for job in self.jobs.iter_mut() {
                 let r = match job.priority {
                     Priority::High => rate_high,
                     Priority::Low => rate_low,
@@ -133,14 +137,18 @@ impl CpuBank {
     /// the new epoch.
     pub fn add(&mut self, now: f64, txn: TxnId, work: f64, priority: Priority) -> u64 {
         self.sync(now);
-        let prev = self.jobs.insert(
-            txn,
-            CpuJob {
-                remaining: work.max(0.0),
-                priority,
-            },
+        debug_assert!(
+            !self.jobs.iter().any(|j| j.txn == txn),
+            "txn {txn:?} already on CPU"
         );
-        debug_assert!(prev.is_none(), "txn {txn:?} already on CPU");
+        self.jobs.push(CpuJob {
+            txn,
+            remaining: work.max(0.0),
+            priority,
+        });
+        if priority == Priority::High {
+            self.high_jobs += 1;
+        }
         self.epoch += 1;
         self.epoch
     }
@@ -149,7 +157,11 @@ impl CpuBank {
     /// epoch if the job was present.
     pub fn remove(&mut self, now: f64, txn: TxnId) -> Option<u64> {
         self.sync(now);
-        if self.jobs.remove(&txn).is_some() {
+        if let Some(pos) = self.jobs.iter().position(|j| j.txn == txn) {
+            let job = self.jobs.remove(pos);
+            if job.priority == Priority::High {
+                self.high_jobs -= 1;
+            }
             self.epoch += 1;
             Some(self.epoch)
         } else {
@@ -165,7 +177,7 @@ impl CpuBank {
         let rate_high = self.rate_for(Priority::High);
         let rate_low = self.rate_for(Priority::Low);
         let mut best: Option<(f64, TxnId)> = None;
-        for (id, job) in &self.jobs {
+        for job in &self.jobs {
             let r = match job.priority {
                 Priority::High => rate_high,
                 Priority::Low => rate_low,
@@ -177,10 +189,10 @@ impl CpuBank {
             // Deterministic tie-break on TxnId.
             let better = match best {
                 None => true,
-                Some((bt, bid)) => t < bt - 1e-15 || ((t - bt).abs() <= 1e-15 && *id < bid),
+                Some((bt, bid)) => t < bt - 1e-15 || ((t - bt).abs() <= 1e-15 && job.txn < bid),
             };
             if better {
-                best = Some((t, *id));
+                best = Some((t, job.txn));
             }
         }
         best
@@ -190,7 +202,15 @@ impl CpuBank {
     /// no work left. Returns the new epoch.
     pub fn complete(&mut self, now: f64, txn: TxnId) -> u64 {
         self.sync(now);
-        let job = self.jobs.remove(&txn).expect("completing unknown CPU job");
+        let pos = self
+            .jobs
+            .iter()
+            .position(|j| j.txn == txn)
+            .expect("completing unknown CPU job");
+        let job = self.jobs.remove(pos);
+        if job.priority == Priority::High {
+            self.high_jobs -= 1;
+        }
         debug_assert!(
             job.remaining < 1e-6,
             "completed job had {} s left",

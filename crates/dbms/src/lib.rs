@@ -31,11 +31,12 @@ pub mod disk;
 pub mod lock;
 pub mod metrics;
 pub mod sim;
+pub mod slab;
 pub mod txn;
 
 pub use config::{
     CpuPolicy, DbmsConfig, DeadlockStrategy, HardwareConfig, IsolationLevel, LockPriorityPolicy,
 };
 pub use metrics::{Completion, DbmsMetrics};
-pub use sim::{DbmsSim, StepOutcome};
+pub use sim::{CapacityStats, DbmsSim, StepOutcome};
 pub use txn::{ItemId, LockMode, PageId, Priority, Step, TxnBody, TxnId};

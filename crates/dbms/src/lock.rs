@@ -16,7 +16,8 @@
 
 use crate::config::LockPriorityPolicy;
 use crate::txn::{ItemId, LockMode, Priority, TxnId};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+use xsched_sim::FxHashMap;
 
 /// Result of a lock request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,14 +69,24 @@ impl LockState {
 }
 
 /// The lock manager.
+///
+/// All three tables use the Fx integer hash (ids are dense and never
+/// attacker-controlled), and the per-item / per-transaction vectors are
+/// recycled through free pools so steady-state request/release traffic
+/// allocates nothing.
 #[derive(Debug)]
 pub struct LockManager {
     policy: LockPriorityPolicy,
-    table: HashMap<ItemId, LockState>,
+    table: FxHashMap<ItemId, LockState>,
     /// Items currently held (in any mode) per transaction.
-    held: HashMap<TxnId, Vec<ItemId>>,
+    held: FxHashMap<TxnId, Vec<ItemId>>,
     /// The single item each blocked transaction waits for.
-    waiting: HashMap<TxnId, ItemId>,
+    waiting: FxHashMap<TxnId, ItemId>,
+    /// Recycled `LockState`s (their holder/queue buffers keep their
+    /// capacity across items).
+    state_pool: Vec<LockState>,
+    /// Recycled per-transaction held-item vectors.
+    items_pool: Vec<Vec<ItemId>>,
     grants: u64,
     blocks: u64,
 }
@@ -85,9 +96,11 @@ impl LockManager {
     pub fn new(policy: LockPriorityPolicy) -> LockManager {
         LockManager {
             policy,
-            table: HashMap::new(),
-            held: HashMap::new(),
-            waiting: HashMap::new(),
+            table: FxHashMap::default(),
+            held: FxHashMap::default(),
+            waiting: FxHashMap::default(),
+            state_pool: Vec::new(),
+            items_pool: Vec::new(),
             grants: 0,
             blocks: 0,
         }
@@ -112,7 +125,10 @@ impl LockManager {
             !self.waiting.contains_key(&txn),
             "txn {txn:?} requested a lock while already waiting"
         );
-        let state = self.table.entry(item).or_default();
+        let state = self
+            .table
+            .entry(item)
+            .or_insert_with(|| self.state_pool.pop().unwrap_or_default());
 
         if let Some(held_mode) = state.holds(txn) {
             match (held_mode, mode) {
@@ -155,7 +171,10 @@ impl LockManager {
         };
         if bypass_ok && state.compatible_with_holders(txn, mode) {
             state.holders.push((txn, mode));
-            self.held.entry(txn).or_default().push(item);
+            self.held
+                .entry(txn)
+                .or_insert_with(|| self.items_pool.pop().unwrap_or_default())
+                .push(item);
             self.grants += 1;
             return RequestOutcome::Granted;
         }
@@ -190,56 +209,106 @@ impl LockManager {
     }
 
     /// Release every lock held by `txn` (commit path) and promote waiters.
+    /// Convenience wrapper over [`LockManager::release_all_into`].
     pub fn release_all(&mut self, txn: TxnId) -> Vec<Grant> {
+        let mut grants = Vec::new();
+        self.release_all_into(txn, &mut grants);
+        grants
+    }
+
+    /// Release every lock held by `txn` (commit path), appending promoted
+    /// waiters to `grants` — the allocation-free form the simulator's hot
+    /// loop uses with a per-sim scratch buffer.
+    pub fn release_all_into(&mut self, txn: TxnId, grants: &mut Vec<Grant>) {
         debug_assert!(
             !self.waiting.contains_key(&txn),
             "committing txn {txn:?} cannot be waiting"
         );
-        let items = self.held.remove(&txn).unwrap_or_default();
-        let mut grants = Vec::new();
-        for item in items {
+        let before = grants.len();
+        let mut items = self.held.remove(&txn).unwrap_or_default();
+        for item in items.drain(..) {
             if let Some(state) = self.table.get_mut(&item) {
                 state.holders.retain(|(t, _)| *t != txn);
-                Self::promote(&mut self.waiting, &mut self.held, state, item, &mut grants);
+                Self::promote(
+                    &mut self.waiting,
+                    &mut self.held,
+                    &mut self.items_pool,
+                    state,
+                    item,
+                    grants,
+                );
                 if state.holders.is_empty() && state.queue.is_empty() {
-                    self.table.remove(&item);
+                    self.recycle(item);
                 }
             }
         }
-        self.grants += grants.len() as u64;
-        grants
+        self.items_pool.push(items);
+        self.grants += (grants.len() - before) as u64;
     }
 
     /// Abort path: remove `txn` from any wait queue and release all its
-    /// locks. Returns the waiters that became grantable.
+    /// locks. Returns the waiters that became grantable. Convenience
+    /// wrapper over [`LockManager::abort_into`].
     pub fn abort(&mut self, txn: TxnId) -> Vec<Grant> {
         let mut grants = Vec::new();
+        self.abort_into(txn, &mut grants);
+        grants
+    }
+
+    /// Abort path, appending newly grantable waiters to `grants` (the
+    /// scratch-buffer form).
+    pub fn abort_into(&mut self, txn: TxnId, grants: &mut Vec<Grant>) {
+        let before = grants.len();
         if let Some(item) = self.waiting.remove(&txn) {
             if let Some(state) = self.table.get_mut(&item) {
                 state.queue.retain(|w| w.txn != txn);
                 // Removing a queued X may unblock compatible waiters behind it.
-                Self::promote(&mut self.waiting, &mut self.held, state, item, &mut grants);
+                Self::promote(
+                    &mut self.waiting,
+                    &mut self.held,
+                    &mut self.items_pool,
+                    state,
+                    item,
+                    grants,
+                );
             }
         }
-        let items = self.held.remove(&txn).unwrap_or_default();
-        for item in items {
+        let mut items = self.held.remove(&txn).unwrap_or_default();
+        for item in items.drain(..) {
             if let Some(state) = self.table.get_mut(&item) {
                 state.holders.retain(|(t, _)| *t != txn);
-                Self::promote(&mut self.waiting, &mut self.held, state, item, &mut grants);
+                Self::promote(
+                    &mut self.waiting,
+                    &mut self.held,
+                    &mut self.items_pool,
+                    state,
+                    item,
+                    grants,
+                );
                 if state.holders.is_empty() && state.queue.is_empty() {
-                    self.table.remove(&item);
+                    self.recycle(item);
                 }
             }
         }
-        self.grants += grants.len() as u64;
-        grants
+        self.items_pool.push(items);
+        self.grants += (grants.len() - before) as u64;
+    }
+
+    /// Drop the (empty) lock state for `item`, keeping its buffers for
+    /// the next contended item.
+    fn recycle(&mut self, item: ItemId) {
+        if let Some(state) = self.table.remove(&item) {
+            debug_assert!(state.holders.is_empty() && state.queue.is_empty());
+            self.state_pool.push(state);
+        }
     }
 
     /// Grant queue heads while possible (static method to appease the
     /// borrow checker when called with `table` already borrowed).
     fn promote(
-        waiting: &mut HashMap<TxnId, ItemId>,
-        held: &mut HashMap<TxnId, Vec<ItemId>>,
+        waiting: &mut FxHashMap<TxnId, ItemId>,
+        held: &mut FxHashMap<TxnId, Vec<ItemId>>,
+        items_pool: &mut Vec<Vec<ItemId>>,
         state: &mut LockState,
         item: ItemId,
         grants: &mut Vec<Grant>,
@@ -259,7 +328,9 @@ impl LockManager {
                 state.holders[0].1 = LockMode::Exclusive;
             } else {
                 state.holders.push((head.txn, head.mode));
-                held.entry(head.txn).or_default().push(item);
+                held.entry(head.txn)
+                    .or_insert_with(|| items_pool.pop().unwrap_or_default())
+                    .push(item);
             }
             waiting.remove(&head.txn);
             grants.push(Grant {
@@ -330,19 +401,36 @@ impl LockManager {
 
     /// POW: low-priority holders of `item` that are themselves blocked at
     /// some other lock queue — the victims a blocked high-priority request
-    /// is entitled to preempt.
-    pub fn pow_victims(&self, item: ItemId, priorities: &HashMap<TxnId, Priority>) -> Vec<TxnId> {
+    /// is entitled to preempt. `priority_of` resolves a holder's class
+    /// (the simulator answers from its transaction slab).
+    pub fn pow_victims(
+        &self,
+        item: ItemId,
+        priority_of: impl Fn(TxnId) -> Option<Priority>,
+    ) -> Vec<TxnId> {
+        let mut out = Vec::new();
+        self.pow_victims_into(item, &mut out, priority_of);
+        out
+    }
+
+    /// [`LockManager::pow_victims`], appending into a caller-owned scratch
+    /// buffer (holders appear in grant order, which is deterministic).
+    pub fn pow_victims_into(
+        &self,
+        item: ItemId,
+        out: &mut Vec<TxnId>,
+        priority_of: impl Fn(TxnId) -> Option<Priority>,
+    ) {
         let Some(state) = self.table.get(&item) else {
-            return Vec::new();
+            return;
         };
-        state
-            .holders
-            .iter()
-            .map(|(t, _)| *t)
-            .filter(|t| {
-                priorities.get(t).copied() == Some(Priority::Low) && self.waiting.contains_key(t)
-            })
-            .collect()
+        out.extend(
+            state
+                .holders
+                .iter()
+                .map(|(t, _)| *t)
+                .filter(|t| priority_of(*t) == Some(Priority::Low) && self.waiting.contains_key(t)),
+        );
     }
 
     /// Total granted requests.
@@ -614,10 +702,11 @@ mod tests {
     #[test]
     fn pow_victims_are_blocked_low_holders() {
         let mut lm = LockManager::new(LockPriorityPolicy::PreemptOnWait);
-        let mut prios = HashMap::new();
+        let mut prios = std::collections::HashMap::new();
         prios.insert(t(1), LO);
         prios.insert(t(2), LO);
         prios.insert(t(3), HI);
+        let prio_of = |t: TxnId| prios.get(&t).copied();
         // t1 holds i1 and waits for i2 (held by t2).
         let _ = lm.request(t(1), LO, i(1), LockMode::Exclusive);
         let _ = lm.request(t(2), LO, i(2), LockMode::Exclusive);
@@ -630,9 +719,9 @@ mod tests {
             lm.request(t(3), HI, i(1), LockMode::Exclusive),
             RequestOutcome::Blocked
         );
-        assert_eq!(lm.pow_victims(i(1), &prios), vec![t(1)]);
+        assert_eq!(lm.pow_victims(i(1), prio_of), vec![t(1)]);
         // t2 holds i2 but is running (not waiting) → not a victim.
-        assert!(lm.pow_victims(i(2), &prios).is_empty());
+        assert!(lm.pow_victims(i(2), prio_of).is_empty());
         let grants = lm.abort(t(1));
         assert_eq!(
             grants,

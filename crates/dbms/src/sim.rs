@@ -27,9 +27,10 @@ use crate::cpu::CpuBank;
 use crate::disk::{Disk, IoRequest};
 use crate::lock::{Grant, LockManager, RequestOutcome};
 use crate::metrics::{Completion, DbmsMetrics};
+use crate::slab::{Slab, SlotRef};
 use crate::txn::{LockMode, PageId, Priority, TxnBody, TxnId};
-use std::collections::{HashMap, VecDeque};
-use xsched_sim::{EventQueue, SimRng, SimTime};
+use std::collections::VecDeque;
+use xsched_sim::{EventQueue, FxHashMap, SimRng, SimTime};
 
 /// What a call to [`DbmsSim::step`] processed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,6 +61,9 @@ enum Phase {
 
 #[derive(Debug)]
 struct TxnState {
+    /// Public identity (monotone admission order; the deadlock detector's
+    /// age). The slab slot is the *storage* identity and is recycled.
+    id: TxnId,
     body: TxnBody,
     external_arrival: f64,
     admitted: f64,
@@ -77,14 +81,19 @@ struct TxnState {
     block_seq: u64,
 }
 
+/// Events carry the dense [`SlotRef`] where the handler only needs the
+/// transaction's state (dispatch is then a bounds check plus a generation
+/// compare — no hashing). `CpuDone` keeps the [`TxnId`] because the CPU
+/// bank is keyed by it; `DiskDone` resolves through the id index because
+/// the request may belong to the ownerless write-back sentinel.
 #[derive(Debug, Clone, Copy)]
 enum Ev {
     CpuDone { epoch: u64, txn: TxnId },
     DiskDone { disk: usize },
     LogDone,
-    Restart { txn: TxnId },
-    DelayDone { txn: TxnId },
-    LockTimeout { txn: TxnId, block_seq: u64 },
+    Restart { txn: SlotRef },
+    DelayDone { txn: SlotRef },
+    LockTimeout { txn: SlotRef, block_seq: u64 },
     External { token: u64 },
 }
 
@@ -102,13 +111,51 @@ pub struct DbmsSim {
     log_current: Vec<TxnId>,
     pool: BufferPool,
     locks: LockManager,
-    states: HashMap<TxnId, TxnState>,
-    prios: HashMap<TxnId, Priority>,
-    runnable: VecDeque<TxnId>,
+    /// Dense per-transaction state; slots recycle as transactions commit.
+    states: Slab<TxnState>,
+    /// TxnId → slot, for the subsystems that speak [`TxnId`] (lock grants,
+    /// deadlock victims, disk completions). Fx-hashed: ids are dense
+    /// integers.
+    index: FxHashMap<TxnId, SlotRef>,
+    runnable: VecDeque<SlotRef>,
     completions: Vec<Completion>,
+    /// Scratch for lock release/abort grant lists (reused every event).
+    grant_scratch: Vec<Grant>,
+    /// Scratch for POW victim lists (reused every preemption check).
+    victim_scratch: Vec<TxnId>,
     rng: SimRng,
     next_id: u64,
+    /// Events processed by [`DbmsSim::step`] (the benchmark harness
+    /// reports raw events/second from this).
+    events_processed: u64,
     metrics: DbmsMetrics,
+}
+
+/// Capacities of the simulator's reusable hot-loop buffers.
+///
+/// The allocation-discipline tests run a workload to steady state, snap
+/// these, run the same load again, and assert nothing grew — the
+/// machine-checked form of "the inner loop allocates only at warm-up".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacityStats {
+    /// Event-heap capacity.
+    pub events: usize,
+    /// Allocated transaction slots (live + free).
+    pub txn_slots: usize,
+    /// Id-index capacity (lower bound, as reported by the map).
+    pub txn_index: usize,
+    /// Runnable-queue capacity.
+    pub runnable: usize,
+    /// Completion-buffer capacity.
+    pub completions: usize,
+    /// Grant-scratch capacity.
+    pub grant_scratch: usize,
+    /// POW victim-scratch capacity.
+    pub victim_scratch: usize,
+    /// Group-commit accumulation buffer capacity.
+    pub log_batch: usize,
+    /// In-flight force buffer capacity.
+    pub log_current: usize,
 }
 
 impl DbmsSim {
@@ -126,7 +173,9 @@ impl DbmsSim {
             },
             hw,
             cfg,
-            events: EventQueue::new(),
+            // Pre-sized: long runs keep thousands of events in flight and
+            // must not re-grow the heap mid-measurement.
+            events: EventQueue::with_capacity(1024),
             cpu,
             disks,
             log: Disk::new(),
@@ -134,12 +183,15 @@ impl DbmsSim {
             log_current: Vec::new(),
             pool,
             locks,
-            states: HashMap::new(),
-            prios: HashMap::new(),
-            runnable: VecDeque::new(),
+            states: Slab::with_capacity(64),
+            index: FxHashMap::default(),
+            runnable: VecDeque::with_capacity(64),
             completions: Vec::new(),
+            grant_scratch: Vec::new(),
+            victim_scratch: Vec::new(),
             rng: SimRng::derive(seed, "dbms"),
             next_id: 0,
+            events_processed: 0,
         }
     }
 
@@ -165,26 +217,24 @@ impl DbmsSim {
         let id = TxnId(self.next_id);
         self.next_id += 1;
         let now = self.now();
-        self.prios.insert(id, body.priority);
-        self.states.insert(
+        let r = self.states.insert(TxnState {
             id,
-            TxnState {
-                body,
-                external_arrival,
-                admitted: now,
-                step: 0,
-                page: 0,
-                lock_acquired: false,
-                delay_done: false,
-                pending_cpu_extra: 0.0,
-                phase: Phase::OnCpu, // placeholder until advance() decides
-                restarts: 0,
-                lock_wait: 0.0,
-                block_start: 0.0,
-                block_seq: 0,
-            },
-        );
-        self.runnable.push_back(id);
+            body,
+            external_arrival,
+            admitted: now,
+            step: 0,
+            page: 0,
+            lock_acquired: false,
+            delay_done: false,
+            pending_cpu_extra: 0.0,
+            phase: Phase::OnCpu, // placeholder until advance() decides
+            restarts: 0,
+            lock_wait: 0.0,
+            block_start: 0.0,
+            block_seq: 0,
+        });
+        self.index.insert(id, r);
+        self.runnable.push_back(r);
         self.pump();
         id
     }
@@ -231,6 +281,7 @@ impl DbmsSim {
         }) else {
             return StepOutcome::Idle;
         };
+        self.events_processed += 1;
         match ev {
             Ev::External { token } => return StepOutcome::External(token),
             Ev::CpuDone { epoch, txn } => self.on_cpu_done(epoch, txn),
@@ -245,8 +296,37 @@ impl DbmsSim {
     }
 
     /// Take all completions recorded since the last call.
+    ///
+    /// Convenience form that hands over the internal buffer; the driver's
+    /// hot loop uses [`DbmsSim::drain_completions_into`] instead, which
+    /// recycles a caller-owned buffer and keeps the steady state
+    /// allocation-free.
     pub fn drain_completions(&mut self) -> Vec<Completion> {
         std::mem::take(&mut self.completions)
+    }
+
+    /// Swap all completions recorded since the last call into `out`
+    /// (cleared first). The caller's buffer becomes the simulator's next
+    /// accumulation buffer, so two buffers ping-pong and neither ever
+    /// reallocates once warm.
+    pub fn drain_completions_into(&mut self, out: &mut Vec<Completion>) {
+        out.clear();
+        std::mem::swap(&mut self.completions, out);
+    }
+
+    /// Capacities of the reusable hot-loop buffers (see [`CapacityStats`]).
+    pub fn capacity_stats(&self) -> CapacityStats {
+        CapacityStats {
+            events: self.events.capacity(),
+            txn_slots: self.states.capacity(),
+            txn_index: self.index.capacity(),
+            runnable: self.runnable.capacity(),
+            completions: self.completions.capacity(),
+            grant_scratch: self.grant_scratch.capacity(),
+            victim_scratch: self.victim_scratch.capacity(),
+            log_batch: self.log_batch.capacity(),
+            log_current: self.log_current.capacity(),
+        }
     }
 
     /// Aggregate metrics up to the current simulated time.
@@ -269,11 +349,16 @@ impl DbmsSim {
         &self.locks
     }
 
+    /// Total events processed by [`DbmsSim::step`] so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
     /// Diagnostic: counts of transactions per phase, lock-waiting count,
     /// and pending event count — used to investigate stuck configurations.
     pub fn debug_state(&self) -> String {
         let mut counts = std::collections::BTreeMap::new();
-        for st in self.states.values() {
+        for (_, st) in self.states.iter() {
             *counts.entry(format!("{:?}", st.phase)).or_insert(0u32) += 1;
         }
         format!(
@@ -310,13 +395,14 @@ impl DbmsSim {
         let now = self.now();
         self.cpu.complete(now, txn);
         self.resched_cpu();
-        let st = self.states.get_mut(&txn).expect("cpu done for unknown txn");
+        let r = *self.index.get(&txn).expect("cpu done for unknown txn");
+        let st = self.states.get_mut(r).expect("cpu done for stale slot");
         debug_assert_eq!(st.phase, Phase::OnCpu);
         st.step += 1;
         st.page = 0;
         st.lock_acquired = false;
         st.delay_done = false;
-        self.runnable.push_back(txn);
+        self.runnable.push_back(r);
     }
 
     fn on_disk_done(&mut self, disk: usize) {
@@ -328,12 +414,13 @@ impl DbmsSim {
         if done.txn == Self::WRITEBACK {
             return; // background flush; nobody is waiting
         }
-        let st = self.states.get_mut(&done.txn).expect("io for unknown txn");
+        let r = *self.index.get(&done.txn).expect("io for unknown txn");
+        let st = self.states.get_mut(r).expect("io for stale slot");
         debug_assert_eq!(st.phase, Phase::ReadingPage);
         let page = st.body.steps[st.step].pages[st.page];
         self.pool.insert(page);
         st.page += 1;
-        self.runnable.push_back(done.txn);
+        self.runnable.push_back(r);
     }
 
     fn on_log_done(&mut self) {
@@ -341,12 +428,11 @@ impl DbmsSim {
         if self.cfg.group_commit {
             let (_, next) = self.log.complete(now);
             debug_assert!(next.is_none(), "group commit never queues in the disk");
-            let hardened = std::mem::take(&mut self.log_current);
+            let mut hardened = std::mem::take(&mut self.log_current);
             // Start one force for everything that accumulated meanwhile.
             if !self.log_batch.is_empty() {
                 self.metrics.group_commits += 1;
-                let batch = std::mem::take(&mut self.log_batch);
-                let leader = batch[0];
+                let leader = self.log_batch[0];
                 let service = self.rng.exp(self.hw.log_write_time);
                 let delay = self
                     .log
@@ -358,11 +444,21 @@ impl DbmsSim {
                         },
                     )
                     .expect("log just became idle");
-                self.log_current = batch;
+                std::mem::swap(&mut self.log_batch, &mut self.log_current);
                 self.events.schedule_in(delay, Ev::LogDone);
             }
-            for txn in hardened {
+            for &txn in hardened.iter() {
                 self.commit(txn);
+            }
+            // Recycle the drained force buffer: it becomes the next
+            // accumulation batch (a force is in flight) or the next force
+            // buffer (log went idle) — either way the vectors ping-pong
+            // without reallocating.
+            hardened.clear();
+            if self.log.is_busy() {
+                self.log_batch = hardened;
+            } else {
+                self.log_current = hardened;
             }
         } else {
             let (done, next) = self.log.complete(now);
@@ -373,27 +469,28 @@ impl DbmsSim {
         }
     }
 
-    fn on_delay_done(&mut self, txn: TxnId) {
-        let st = self.states.get_mut(&txn).expect("delay for unknown txn");
+    fn on_delay_done(&mut self, txn: SlotRef) {
+        let st = self.states.get_mut(txn).expect("delay for unknown txn");
         debug_assert_eq!(st.phase, Phase::InStepDelay);
         st.delay_done = true;
         self.runnable.push_back(txn);
     }
 
-    fn on_lock_timeout(&mut self, txn: TxnId, block_seq: u64) {
-        let Some(st) = self.states.get(&txn) else {
-            return; // committed meanwhile
+    fn on_lock_timeout(&mut self, txn: SlotRef, block_seq: u64) {
+        let Some(st) = self.states.get(txn) else {
+            return; // committed meanwhile (slot generation moved on)
         };
         if st.phase != Phase::AcquiringLock || st.block_seq != block_seq {
             return; // the request this timer was armed for was granted
         }
+        let id = st.id;
         self.metrics.timeout_aborts += 1;
-        self.abort_txn(txn);
+        self.abort_txn(id);
         self.pump();
     }
 
-    fn on_restart(&mut self, txn: TxnId) {
-        let st = self.states.get_mut(&txn).expect("restart for unknown txn");
+    fn on_restart(&mut self, txn: SlotRef) {
+        let st = self.states.get_mut(txn).expect("restart for unknown txn");
         debug_assert_eq!(st.phase, Phase::BackingOff);
         self.runnable.push_back(txn);
     }
@@ -406,9 +503,9 @@ impl DbmsSim {
     /// blocking point. Grants and aborts push more work onto the queue, so
     /// this loop (not recursion) handles arbitrarily long cascades.
     fn pump(&mut self) {
-        while let Some(txn) = self.runnable.pop_front() {
-            if self.states.contains_key(&txn) {
-                self.advance(txn);
+        while let Some(r) = self.runnable.pop_front() {
+            if self.states.get(r).is_some() {
+                self.advance(r);
             }
         }
     }
@@ -425,10 +522,11 @@ impl DbmsSim {
         }
     }
 
-    fn advance(&mut self, txn: TxnId) {
+    fn advance(&mut self, r: SlotRef) {
         let now = self.now();
         loop {
-            let st = self.states.get_mut(&txn).expect("advancing unknown txn");
+            let st = self.states.get_mut(r).expect("advancing unknown txn");
+            let txn = st.id;
             if st.step >= st.body.steps.len() {
                 // Commit: force the log. Under group commit, records that
                 // arrive while a force is in flight are hardened together
@@ -443,7 +541,8 @@ impl DbmsSim {
                             .log
                             .submit(now, IoRequest { txn, service })
                             .expect("idle log must start immediately");
-                        self.log_current = vec![txn];
+                        debug_assert!(self.log_current.is_empty());
+                        self.log_current.push(txn);
                         self.events.schedule_in(delay, Ev::LogDone);
                     }
                 } else {
@@ -457,27 +556,27 @@ impl DbmsSim {
             if !st.delay_done && self.hw.step_delay > 0.0 {
                 st.phase = Phase::InStepDelay;
                 let d = self.rng.exp(self.hw.step_delay);
-                self.events.schedule_in(d, Ev::DelayDone { txn });
+                self.events.schedule_in(d, Ev::DelayDone { txn: r });
                 return;
             }
             st.delay_done = true;
             let step_lock = st.body.steps[st.step].lock;
             let lock_needed = self.effective_lock(step_lock);
-            let st = self.states.get_mut(&txn).expect("advancing unknown txn");
+            let st = self.states.get_mut(r).expect("advancing unknown txn");
             if !st.lock_acquired {
                 if let Some((item, mode)) = lock_needed {
                     let prio = st.body.priority;
                     match self.locks.request(txn, prio, item, mode) {
                         RequestOutcome::Granted => {
-                            self.states.get_mut(&txn).unwrap().lock_acquired = true;
+                            self.states.get_mut(r).unwrap().lock_acquired = true;
                         }
                         RequestOutcome::Blocked => {
-                            let st = self.states.get_mut(&txn).unwrap();
+                            let st = self.states.get_mut(r).unwrap();
                             st.phase = Phase::AcquiringLock;
                             st.block_start = now;
                             st.block_seq += 1;
                             let seq = st.block_seq;
-                            self.handle_block(txn, item, prio, seq);
+                            self.handle_block(txn, r, item, prio, seq);
                             return;
                         }
                     }
@@ -486,7 +585,7 @@ impl DbmsSim {
                 }
             }
             // Page accesses.
-            let st = self.states.get_mut(&txn).expect("advancing unknown txn");
+            let st = self.states.get_mut(r).expect("advancing unknown txn");
             let step = &st.body.steps[st.step];
             while st.page < step.pages.len() {
                 let pg = step.pages[st.page];
@@ -536,7 +635,14 @@ impl DbmsSim {
     /// A lock request just blocked: run deadlock detection and, for
     /// high-priority requesters under POW, preempt blocked low-priority
     /// holders.
-    fn handle_block(&mut self, txn: TxnId, item: crate::txn::ItemId, prio: Priority, seq: u64) {
+    fn handle_block(
+        &mut self,
+        txn: TxnId,
+        r: SlotRef,
+        item: crate::txn::ItemId,
+        prio: Priority,
+        seq: u64,
+    ) {
         match self.cfg.deadlock {
             DeadlockStrategy::Detection => {
                 // A single block can close more than one cycle; abort
@@ -552,7 +658,7 @@ impl DbmsSim {
                 self.events.schedule_in(
                     timeout,
                     Ev::LockTimeout {
-                        txn,
+                        txn: r,
                         block_seq: seq,
                     },
                 );
@@ -560,13 +666,34 @@ impl DbmsSim {
         }
         if self.cfg.lock_policy == LockPriorityPolicy::PreemptOnWait
             && prio == Priority::High
-            && self.states.get(&txn).map(|s| s.phase) == Some(Phase::AcquiringLock)
+            && self.states.get(r).map(|s| s.phase) == Some(Phase::AcquiringLock)
         {
-            let victims = self.locks.pow_victims(item, &self.prios);
-            for v in victims {
+            let mut victims = std::mem::take(&mut self.victim_scratch);
+            victims.clear();
+            {
+                let states = &self.states;
+                let index = &self.index;
+                self.locks.pow_victims_into(item, &mut victims, |t| {
+                    index
+                        .get(&t)
+                        .and_then(|&r| states.get(r))
+                        .map(|s| s.body.priority)
+                });
+            }
+            for v in victims.drain(..) {
+                // An earlier victim's abort may have granted this one the
+                // lock it was waiting for — it is no longer a *blocked*
+                // holder, so POW has no claim on it. (Aborting it anyway,
+                // as the pre-slab code did, restarted a transaction that
+                // was already back on the runnable queue and corrupted
+                // its event flow.)
+                if self.locks.waiting_for(v).is_none() {
+                    continue;
+                }
                 self.metrics.pow_aborts += 1;
                 self.abort_txn(v);
             }
+            self.victim_scratch = victims;
         }
     }
 
@@ -580,7 +707,7 @@ impl DbmsSim {
             .states
             .iter()
             .filter(|(_, st)| st.phase == Phase::AcquiringLock)
-            .map(|(id, _)| *id)
+            .map(|(_, st)| st.id)
             .collect();
         if blocked.is_empty() {
             return false;
@@ -607,18 +734,23 @@ impl DbmsSim {
     fn abort_txn(&mut self, victim: TxnId) {
         let now = self.now();
         self.metrics.aborts += 1;
+        let r = *self.index.get(&victim).expect("aborting unknown txn");
         {
-            let st = self.states.get(&victim).expect("aborting unknown txn");
+            let st = self.states.get(r).expect("aborting stale slot");
             debug_assert_eq!(
                 st.phase,
                 Phase::AcquiringLock,
                 "victims are blocked by construction"
             );
         }
-        let grants = self.locks.abort(victim);
-        self.resume_grants(grants, now);
+        let mut grants = std::mem::take(&mut self.grant_scratch);
+        grants.clear();
+        self.locks.abort_into(victim, &mut grants);
+        self.resume_grants(&grants, now);
+        grants.clear();
+        self.grant_scratch = grants;
         let backoff = self.rng.exp(self.cfg.restart_backoff);
-        let st = self.states.get_mut(&victim).unwrap();
+        let st = self.states.get_mut(r).unwrap();
         st.restarts += 1;
         st.step = 0;
         st.page = 0;
@@ -630,21 +762,21 @@ impl DbmsSim {
             // it run lock-free (never observed in the paper's range).
             st.phase = Phase::OnCpu;
             st.body.steps.iter_mut().for_each(|s| s.lock = None);
-            self.runnable.push_back(victim);
+            self.runnable.push_back(r);
             return;
         }
         st.phase = Phase::BackingOff;
-        self.events
-            .schedule_in(backoff, Ev::Restart { txn: victim });
+        self.events.schedule_in(backoff, Ev::Restart { txn: r });
     }
 
-    fn resume_grants(&mut self, grants: Vec<Grant>, now: f64) {
+    fn resume_grants(&mut self, grants: &[Grant], now: f64) {
         for g in grants {
-            let st = self.states.get_mut(&g.txn).expect("grant for unknown txn");
+            let r = *self.index.get(&g.txn).expect("grant for unknown txn");
+            let st = self.states.get_mut(r).expect("grant for stale slot");
             debug_assert_eq!(st.phase, Phase::AcquiringLock);
             st.lock_wait += now - st.block_start;
             st.lock_acquired = true;
-            self.runnable.push_back(g.txn);
+            self.runnable.push_back(r);
         }
     }
 
@@ -653,20 +785,19 @@ impl DbmsSim {
 
     fn commit(&mut self, txn: TxnId) {
         let now = self.now();
-        let grants = self.locks.release_all(txn);
-        self.resume_grants(grants, now);
-        let st = self.states.remove(&txn).expect("committing unknown txn");
+        let mut grants = std::mem::take(&mut self.grant_scratch);
+        grants.clear();
+        self.locks.release_all_into(txn, &mut grants);
+        self.resume_grants(&grants, now);
+        grants.clear();
+        self.grant_scratch = grants;
+        let r = self.index.remove(&txn).expect("committing unknown txn");
+        let st = self.states.remove(r).expect("committing stale slot");
         if self.cfg.writeback_fraction > 0.0 {
             // Flush a fraction of the touched pages back to the data
             // disks; the transaction does not wait for these.
             let frac = self.cfg.writeback_fraction;
-            let pages: Vec<PageId> = st
-                .body
-                .steps
-                .iter()
-                .flat_map(|s| s.pages.iter().copied())
-                .collect();
-            for pg in pages {
+            for pg in st.body.steps.iter().flat_map(|s| s.pages.iter().copied()) {
                 if self.rng.chance(frac) {
                     let disk = Self::disk_of(pg, self.disks.len());
                     let service = self.rng.exp(self.hw.disk_read_time);
@@ -681,7 +812,6 @@ impl DbmsSim {
                 }
             }
         }
-        self.prios.remove(&txn);
         self.metrics.commits += 1;
         self.completions.push(Completion {
             txn_type: st.body.txn_type,
@@ -1111,6 +1241,152 @@ mod tests {
             rt1 < 3.0 * rt0,
             "write-back must stay asynchronous: {rt0} vs {rt1}"
         );
+    }
+
+    /// Regression: when POW computes several victims and the first abort
+    /// *grants* a later victim the lock it was blocked on, that victim is
+    /// no longer a blocked holder and must be spared. (The pre-slab code
+    /// aborted it anyway, leaving a restarted transaction with a stale
+    /// backoff timer — a latent state corruption that surfaced as
+    /// double commits under fig12's preemption-heavy runs.)
+    #[test]
+    fn pow_spares_victims_granted_by_an_earlier_abort() {
+        let i = ItemId(1); // shared by both low holders; wanted by high
+        let k = ItemId(2); // held by A, wanted by B
+        let l = ItemId(3); // held by C, wanted by A
+        let step = |lock, cpu| Step {
+            lock: Some(lock),
+            pages: vec![],
+            cpu,
+        };
+        let c = TxnBody {
+            txn_type: 0,
+            priority: Priority::Low,
+            steps: vec![step((l, LockMode::Exclusive), 0.200)],
+        };
+        // A's early steps are tiny and B's first burst is long, so A is
+        // certain to acquire k before B asks for it.
+        let a = TxnBody {
+            txn_type: 1,
+            priority: Priority::Low,
+            steps: vec![
+                step((i, LockMode::Shared), 0.0001),
+                step((k, LockMode::Exclusive), 0.0001),
+                step((l, LockMode::Exclusive), 0.001),
+            ],
+        };
+        let b = TxnBody {
+            txn_type: 2,
+            priority: Priority::Low,
+            steps: vec![
+                step((i, LockMode::Shared), 0.050),
+                step((k, LockMode::Exclusive), 0.001),
+            ],
+        };
+        let h = TxnBody {
+            txn_type: 3,
+            priority: Priority::High,
+            steps: vec![step((i, LockMode::Exclusive), 0.001)],
+        };
+        let cfg = DbmsConfig::default().with_lock_policy(LockPriorityPolicy::PreemptOnWait);
+        let hw = HardwareConfig::default().with_cpus(4);
+        let mut s = DbmsSim::new(hw, cfg, 5);
+        s.submit(c, 0.0);
+        s.submit(a, 0.0);
+        s.submit(b, 0.0);
+        // Run until A (blocked on l) and B (blocked on k) both wait.
+        while s.lock_manager().waiting_count() < 2 {
+            assert_ne!(s.step(), StepOutcome::Idle, "A and B never both blocked");
+        }
+        // High-priority H blocks on i → POW victim sweep [A, B]; aborting
+        // A releases k, granting B — B must be spared.
+        s.submit(h, 0.0);
+        run_to_idle(&mut s);
+        let done = s.drain_completions();
+        assert_eq!(done.len(), 4, "all four must commit");
+        let m = s.metrics();
+        assert_eq!(m.pow_aborts, 1, "only the still-blocked holder aborted");
+        let aborted: Vec<u32> = done
+            .iter()
+            .filter(|c| c.restarts > 0)
+            .map(|c| c.txn_type)
+            .collect();
+        assert_eq!(aborted, vec![1], "A restarted, B spared");
+        s.lock_manager().check_invariants();
+    }
+
+    /// Allocation discipline: run a contended closed loop to steady
+    /// state, snapshot every reusable buffer's capacity, run the same
+    /// load again, and require zero growth — the hot loop must only
+    /// allocate while warming up.
+    #[test]
+    fn steady_state_causes_no_buffer_growth() {
+        let mut s = DbmsSim::new(HardwareConfig::default(), DbmsConfig::default(), 11);
+        let mut rng = SimRng::derive(11, "wl");
+        let submit = |s: &mut DbmsSim, rng: &mut SimRng| {
+            let body = TxnBody {
+                txn_type: 0,
+                priority: if rng.chance(0.1) {
+                    Priority::High
+                } else {
+                    Priority::Low
+                },
+                steps: vec![Step {
+                    lock: Some((ItemId(rng.index_u64(5)), LockMode::Exclusive)),
+                    pages: vec![PageId(rng.index_u64(200))],
+                    cpu: 0.0005 + rng.uniform() * 0.001,
+                }],
+            };
+            s.submit(body, s.now());
+        };
+        for _ in 0..8 {
+            submit(&mut s, &mut rng);
+        }
+        const HALF: u64 = 1_000;
+        let mut done = 0u64;
+        let mut buf = Vec::new();
+        let mut warm_caps = None;
+        while done < 2 * HALF {
+            if s.step() == StepOutcome::Idle {
+                break;
+            }
+            s.drain_completions_into(&mut buf);
+            for _ in buf.drain(..) {
+                done += 1;
+                submit(&mut s, &mut rng);
+            }
+            if done >= HALF && warm_caps.is_none() {
+                warm_caps = Some(s.capacity_stats());
+            }
+        }
+        assert_eq!(done, 2 * HALF, "workload must keep the sim busy");
+        let warm = warm_caps.expect("first half completed");
+        assert_eq!(
+            s.capacity_stats(),
+            warm,
+            "second {HALF} transactions grew a hot-loop buffer"
+        );
+    }
+
+    #[test]
+    fn drain_into_swaps_buffers_without_losing_completions() {
+        let mut s = sim(HardwareConfig::default(), DbmsConfig::default());
+        s.submit(cpu_only_txn(0.010), 0.0);
+        run_to_idle(&mut s);
+        let mut buf = vec![Completion {
+            txn_type: 99,
+            priority: Priority::Low,
+            external_arrival: 0.0,
+            admitted: 0.0,
+            completed: 0.0,
+            restarts: 0,
+            lock_wait: 0.0,
+        }];
+        s.drain_completions_into(&mut buf);
+        assert_eq!(buf.len(), 1, "stale contents cleared, one completion");
+        assert_eq!(buf[0].txn_type, 0);
+        s.drain_completions_into(&mut buf);
+        assert!(buf.is_empty(), "nothing new since the last drain");
     }
 
     #[test]

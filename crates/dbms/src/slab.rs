@@ -1,0 +1,201 @@
+//! Generation-tagged slab: dense, reusable storage for per-transaction
+//! state.
+//!
+//! Admitted transactions get a [`SlotRef`] — a dense slot index plus a
+//! generation tag. Slots are recycled when transactions commit, so the
+//! backing vector stays as small as the peak in-flight population, and a
+//! stale reference (an event armed for a transaction that has since
+//! committed and whose slot was reused) is detected by the generation
+//! mismatch instead of by a hash-map miss. Lookups are a bounds check and
+//! a tag compare — no hashing in the event-dispatch hot path.
+//!
+//! Slot allocation order (LIFO free list) is a pure function of the
+//! insert/remove sequence, so slab layout — like everything else in the
+//! simulator — is deterministic for a given seed.
+
+/// A dense handle to a slab entry: slot index plus generation tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlotRef {
+    /// Index into the slab's backing vector.
+    pub slot: u32,
+    /// Generation the slot had when this reference was issued.
+    pub gen: u32,
+}
+
+#[derive(Debug)]
+struct Entry<T> {
+    gen: u32,
+    val: Option<T>,
+}
+
+/// A generation-tagged slab.
+#[derive(Debug)]
+pub struct Slab<T> {
+    entries: Vec<Entry<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    pub fn new() -> Slab<T> {
+        Slab {
+            entries: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// An empty slab with room for `cap` live entries before reallocating.
+    pub fn with_capacity(cap: usize) -> Slab<T> {
+        Slab {
+            entries: Vec::with_capacity(cap),
+            free: Vec::with_capacity(cap),
+            len: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of slots allocated (live + free).
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Store `val`, reusing a free slot if one exists.
+    pub fn insert(&mut self, val: T) -> SlotRef {
+        self.len += 1;
+        if let Some(slot) = self.free.pop() {
+            let e = &mut self.entries[slot as usize];
+            debug_assert!(e.val.is_none(), "free list pointed at a live slot");
+            e.val = Some(val);
+            SlotRef { slot, gen: e.gen }
+        } else {
+            let slot = self.entries.len() as u32;
+            self.entries.push(Entry {
+                gen: 0,
+                val: Some(val),
+            });
+            SlotRef { slot, gen: 0 }
+        }
+    }
+
+    /// The entry behind `r`, unless it was removed (generation mismatch).
+    #[inline]
+    pub fn get(&self, r: SlotRef) -> Option<&T> {
+        match self.entries.get(r.slot as usize) {
+            Some(e) if e.gen == r.gen => e.val.as_ref(),
+            _ => None,
+        }
+    }
+
+    /// Mutable access behind `r`, unless it was removed.
+    #[inline]
+    pub fn get_mut(&mut self, r: SlotRef) -> Option<&mut T> {
+        match self.entries.get_mut(r.slot as usize) {
+            Some(e) if e.gen == r.gen => e.val.as_mut(),
+            _ => None,
+        }
+    }
+
+    /// Remove and return the entry behind `r`; the slot's generation is
+    /// bumped so outstanding references to it go stale.
+    pub fn remove(&mut self, r: SlotRef) -> Option<T> {
+        let e = self.entries.get_mut(r.slot as usize)?;
+        if e.gen != r.gen {
+            return None;
+        }
+        let val = e.val.take()?;
+        e.gen = e.gen.wrapping_add(1);
+        self.free.push(r.slot);
+        self.len -= 1;
+        Some(val)
+    }
+
+    /// Iterate live entries in slot order (deterministic).
+    pub fn iter(&self) -> impl Iterator<Item = (SlotRef, &T)> {
+        self.entries.iter().enumerate().filter_map(|(i, e)| {
+            e.val.as_ref().map(|v| {
+                (
+                    SlotRef {
+                        slot: i as u32,
+                        gen: e.gen,
+                    },
+                    v,
+                )
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut s = Slab::new();
+        let a = s.insert("a");
+        let b = s.insert("b");
+        assert_eq!(s.get(a), Some(&"a"));
+        assert_eq!(s.get(b), Some(&"b"));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.remove(a), Some("a"));
+        assert_eq!(s.get(a), None, "removed entry unreachable");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn stale_reference_detected_after_reuse() {
+        let mut s = Slab::new();
+        let a = s.insert(1u32);
+        s.remove(a);
+        let b = s.insert(2u32);
+        assert_eq!(b.slot, a.slot, "slot recycled");
+        assert_ne!(b.gen, a.gen, "generation bumped");
+        assert_eq!(s.get(a), None, "stale ref misses");
+        assert_eq!(s.get(b), Some(&2));
+        assert_eq!(s.remove(a), None, "stale remove is a no-op");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn capacity_tracks_peak_not_total() {
+        let mut s = Slab::with_capacity(4);
+        for round in 0..100 {
+            let refs: Vec<SlotRef> = (0..4).map(|i| s.insert(round * 10 + i)).collect();
+            for r in refs {
+                s.remove(r);
+            }
+        }
+        assert!(s.capacity() <= 4, "slots recycled, not appended");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn iter_is_slot_ordered() {
+        let mut s = Slab::new();
+        let a = s.insert(10);
+        let _b = s.insert(20);
+        let _c = s.insert(30);
+        s.remove(a);
+        let d = s.insert(40); // reuses slot 0
+        assert_eq!(d.slot, 0);
+        let vals: Vec<i32> = s.iter().map(|(_, v)| *v).collect();
+        assert_eq!(vals, vec![40, 20, 30]);
+    }
+}

@@ -64,6 +64,44 @@ pub enum Dist {
 }
 
 impl Dist {
+    /// Write a structural fingerprint (variant tag + parameter bit
+    /// patterns) — used by measurement-cache keys to identify workload
+    /// configurations without `Debug` formatting.
+    pub fn fingerprint_into(&self, fp: &mut crate::StableFp) {
+        match *self {
+            Dist::Deterministic { value } => {
+                fp.write_u64(0);
+                fp.write_f64(value);
+            }
+            Dist::Exponential { mean } => {
+                fp.write_u64(1);
+                fp.write_f64(mean);
+            }
+            Dist::HyperExp2 { p, mean1, mean2 } => {
+                fp.write_u64(2);
+                fp.write_f64(p);
+                fp.write_f64(mean1);
+                fp.write_f64(mean2);
+            }
+            Dist::Erlang { k, mean } => {
+                fp.write_u64(3);
+                fp.write_u32(k);
+                fp.write_f64(mean);
+            }
+            Dist::Uniform { lo, hi } => {
+                fp.write_u64(4);
+                fp.write_f64(lo);
+                fp.write_f64(hi);
+            }
+            Dist::BoundedPareto { lo, hi, alpha } => {
+                fp.write_u64(5);
+                fp.write_f64(lo);
+                fp.write_f64(hi);
+                fp.write_f64(alpha);
+            }
+        }
+    }
+
     /// Convenience constructor for [`Dist::Deterministic`].
     pub fn constant(value: f64) -> Dist {
         Dist::Deterministic { value }

@@ -19,6 +19,7 @@
 
 pub mod dist;
 pub mod engine;
+pub mod fx;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -26,6 +27,7 @@ pub mod zipf;
 
 pub use dist::Dist;
 pub use engine::EventQueue;
+pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher, StableFp};
 pub use rng::SimRng;
 pub use stats::{BatchMeans, ConfidenceInterval, Replications, SampleSet, TimeWeighted, Welford};
 pub use time::SimTime;

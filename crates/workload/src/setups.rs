@@ -94,6 +94,30 @@ pub fn setup(i: u32) -> Setup {
 }
 
 impl Setup {
+    /// 128-bit structural fingerprint of every field (workload, hardware,
+    /// DBMS config, client population). Two setups fingerprint equal iff
+    /// all their fields are bit-identical — the identity the measurement
+    /// cache keys on, strong enough to distinguish `map_cfg` variants
+    /// that share a setup id.
+    pub fn stable_fingerprint(&self) -> (u64, u64) {
+        // Exhaustive destructuring: a new Setup field must join the
+        // fingerprint before this compiles again.
+        let Setup {
+            id,
+            ref workload,
+            ref hw,
+            ref cfg,
+            clients,
+        } = *self;
+        let mut fp = xsched_sim::StableFp::new();
+        fp.write_u32(id);
+        fp.write_u32(clients);
+        workload.fingerprint_into(&mut fp);
+        hw.fingerprint_into(&mut fp);
+        cfg.fingerprint_into(&mut fp);
+        fp.finish()
+    }
+
     /// Functional update of the DBMS configuration — the idiom sweep plans
     /// use to express internal-policy variants (POW locks, CPU priorities,
     /// group commit, ...) as one-line setup literals.

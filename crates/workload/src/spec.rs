@@ -111,7 +111,65 @@ pub struct WorkloadSpec {
     pub item_space: u64,
 }
 
+impl TxnTemplate {
+    /// Write a structural fingerprint of the template (name, weight,
+    /// shape, lock profile). Exhaustive destructuring (no `..`): adding
+    /// a field without fingerprinting it is a compile error.
+    pub fn fingerprint_into(&self, fp: &mut xsched_sim::StableFp) {
+        let TxnTemplate {
+            name,
+            weight,
+            steps,
+            ref cpu_per_step,
+            pages_per_step,
+            locks:
+                LockProfile {
+                    lock_prob,
+                    hot_prob,
+                    write_prob,
+                    late_hot,
+                    upgrade_prob,
+                },
+        } = *self;
+        fp.write_str(name);
+        fp.write_f64(weight);
+        fp.write_u32(steps);
+        cpu_per_step.fingerprint_into(fp);
+        fp.write_u32(pages_per_step);
+        fp.write_f64(lock_prob);
+        fp.write_f64(hot_prob);
+        fp.write_f64(write_prob);
+        fp.write_bool(late_hot);
+        fp.write_f64(upgrade_prob);
+    }
+}
+
 impl WorkloadSpec {
+    /// Write a structural fingerprint of the whole workload — every
+    /// template plus the database geometry. Measurement-cache keys use
+    /// this instead of `Debug` output, which could alias if it ever
+    /// elided or reformatted a field; the exhaustive destructuring makes
+    /// adding a field without fingerprinting it a compile error.
+    pub fn fingerprint_into(&self, fp: &mut xsched_sim::StableFp) {
+        let WorkloadSpec {
+            name,
+            ref templates,
+            db_pages,
+            page_theta,
+            hot_items,
+            item_space,
+        } = *self;
+        fp.write_str(name);
+        fp.write_u64(templates.len() as u64);
+        for t in templates {
+            t.fingerprint_into(fp);
+        }
+        fp.write_u64(db_pages);
+        fp.write_f64(page_theta);
+        fp.write_u64(hot_items);
+        fp.write_u64(item_space);
+    }
+
     /// Mixture mean and squared coefficient of variation of the intrinsic
     /// per-transaction demand, given the uncached page cost.
     ///
