@@ -1,8 +1,9 @@
 //! Hot-path baseline benchmark: `figures --quick`-scale sweeps through
 //! the sweep executor, timed by the vendored criterion harness, plus a
-//! raw simulator events/second measurement — written out as
-//! machine-readable `BENCH_hotpath.json` so CI can archive the repo's
-//! perf trajectory run over run.
+//! raw simulator events/second measurement and a shard-balance
+//! experiment — written out as machine-readable `BENCH_hotpath.json` so
+//! CI can archive the repo's perf trajectory run over run (and fail on
+//! events/sec regressions against the committed baseline).
 //!
 //! ```text
 //! cargo bench -p xsched-bench --bench hotpath
@@ -10,14 +11,24 @@
 //! ```
 //!
 //! The JSON carries one entry per figure (mean/min wall seconds per full
-//! sweep) and an `events` block with the raw event-loop rate. Figures run
-//! through the same `SweepOpts`/`SweepExecutor` path the `figures` binary
-//! uses, so these numbers track exactly what an operator waits on.
+//! sweep), an `events` block with the raw event-loop rate, a `cells`
+//! array with per-cell wall-clock over the heterogeneous fig2 + rt_open
+//! grid, and a `shard_balance` block comparing static striding against
+//! cost-balanced (LPT) slicing on that grid: per-shard wall-clock and the
+//! max/min imbalance ratio for both modes. Figures run through the same
+//! `SweepOpts`/`SweepExecutor` path the `figures` binary uses, so these
+//! numbers track exactly what an operator waits on.
 
 use criterion::{black_box, Criterion};
 use std::io::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
-use xsched_bench::{fig2_report, quick_rc, quick_rc_heavy, rt_open_report, SweepOpts};
+use xsched_bench::{
+    fig2_report, fig2_scenarios, quick_rc, quick_rc_heavy, rt_open_report, rt_open_scenarios,
+    SweepOpts,
+};
+use xsched_core::cost::encode_timing_cell;
+use xsched_core::{BalanceMode, CellTiming, CostModel, SweepExecutor, SweepPlan};
 use xsched_dbms::{DbmsSim, StepOutcome};
 use xsched_workload::{setup, TxnGen};
 
@@ -64,12 +75,60 @@ fn figure_benches(c: &mut Criterion) {
     });
 }
 
+/// Per-shard wall-clock of one slicing mode over `plan`, each shard run
+/// serially in turn — the single-process stand-in for "one host per
+/// shard". Returns `(wall seconds per shard, per-cell timings)`.
+fn measure_shards(
+    plan: &SweepPlan,
+    of: usize,
+    balance: BalanceMode,
+    model: &Arc<CostModel>,
+) -> (Vec<f64>, Vec<CellTiming>) {
+    let tasks = plan.tasks();
+    let mut walls = Vec::with_capacity(of);
+    let mut cells = Vec::new();
+    for index in 0..of {
+        let executor = SweepExecutor::serial()
+            .with_balance(balance)
+            .with_cost_model(Arc::clone(model));
+        let t0 = Instant::now();
+        let shard = executor.run_shard(plan, index, of);
+        walls.push(t0.elapsed().as_secs_f64());
+        for &(t, secs) in &shard.timings {
+            let scenario = &plan.scenarios[tasks[t].0];
+            cells.push(CellTiming {
+                bucket: CostModel::bucket(scenario),
+                units: CostModel::units(scenario),
+                secs,
+            });
+        }
+    }
+    (walls, cells)
+}
+
+/// Max/min shard wall-clock — 1.0 is perfect balance; the slowest shard
+/// gates a multi-host run, so this is the number balancing must shrink.
+fn imbalance(walls: &[f64]) -> f64 {
+    let max = walls.iter().cloned().fold(f64::MIN, f64::max);
+    let min = walls.iter().cloned().fold(f64::MAX, f64::min);
+    max / min.max(1e-9)
+}
+
 fn json_escape_free(name: &str) -> String {
     // Bench labels are ASCII identifiers; strip anything that would need
     // JSON escaping rather than implementing an escaper for no caller.
     name.chars()
         .filter(|c| c.is_ascii() && *c != '"' && *c != '\\')
         .collect()
+}
+
+fn json_shard_mode(walls: &[f64]) -> String {
+    let list: Vec<String> = walls.iter().map(|w| format!("{w:.4}")).collect();
+    format!(
+        "{{\"imbalance\": {:.4}, \"wall_secs\": [{}]}}",
+        imbalance(walls),
+        list.join(", ")
+    )
 }
 
 fn main() {
@@ -82,8 +141,30 @@ fn main() {
         "raw_sim/events", events_per_sec
     );
 
+    // Shard-balance experiment on the heterogeneous fig2 + rt_open quick
+    // grid (browsing cells run 5× the transactions of inventory cells;
+    // open-load cells pay a capacity run): static striding vs
+    // cost-balanced LPT slices, the latter calibrated from the stride
+    // pass's own per-cell timings — exactly the `--timings`/`--calibrate`
+    // feedback loop.
+    const SHARDS: usize = 6;
+    let mut scenarios = fig2_scenarios(&quick_rc());
+    scenarios.extend(rt_open_scenarios(&quick_rc_heavy()));
+    let plan = SweepPlan::new(scenarios);
+    let structural = Arc::new(CostModel::structural());
+    let (stride_walls, cells) = measure_shards(&plan, SHARDS, BalanceMode::Stride, &structural);
+    let calibrated = Arc::new(CostModel::calibrated(&cells));
+    let (cost_walls, _) = measure_shards(&plan, SHARDS, BalanceMode::Cost, &calibrated);
+    println!(
+        "{:<40} stride {:.2}x  cost-balanced {:.2}x  ({} cells over {SHARDS} shards)",
+        "shard_balance/imbalance",
+        imbalance(&stride_walls),
+        imbalance(&cost_walls),
+        plan.task_count(),
+    );
+
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"xsched-hotpath-v1\",\n  \"figures\": [\n");
+    json.push_str("{\n  \"schema\": \"xsched-hotpath-v2\",\n  \"figures\": [\n");
     let records = c.records();
     for (i, r) in records.iter().enumerate() {
         json.push_str(&format!(
@@ -97,12 +178,30 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
-        "  \"events\": {{\"count\": {events}, \"wall_secs\": {wall:.6}, \"events_per_sec\": {events_per_sec:.1}}}\n"
+        "  \"events\": {{\"count\": {events}, \"wall_secs\": {wall:.6}, \"events_per_sec\": {events_per_sec:.1}}},\n"
     ));
-    json.push_str("}\n");
+    json.push_str(&format!(
+        "  \"shard_balance\": {{\n    \"shards\": {SHARDS},\n    \"tasks\": {},\n    \"stride\": {},\n    \"cost\": {},\n    \"improvement\": {:.4}\n  }},\n",
+        plan.task_count(),
+        json_shard_mode(&stride_walls),
+        json_shard_mode(&cost_walls),
+        imbalance(&stride_walls) / imbalance(&cost_walls),
+    ));
+    json.push_str("  \"cells\": [\n");
+    for (i, cell) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {}{}\n",
+            encode_timing_cell(cell),
+            if i + 1 < cells.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
 
-    let path =
-        std::env::var("BENCH_JSON_PATH").unwrap_or_else(|_| "BENCH_hotpath.json".to_string());
+    // Default to the workspace root (cargo runs benches with the package
+    // directory as cwd), where the committed baseline lives.
+    let path = std::env::var("BENCH_JSON_PATH").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json").into()
+    });
     let mut f = std::fs::File::create(&path)
         .unwrap_or_else(|e| panic!("cannot create bench baseline {path}: {e}"));
     f.write_all(json.as_bytes()).expect("write bench baseline");

@@ -26,7 +26,9 @@
 use std::sync::{Arc, Mutex};
 use xsched_bench::cli::{parse_args, USAGE};
 use xsched_bench::*;
+use xsched_core::cost::{decode_timings, encode_timings};
 use xsched_core::shard::decode_payloads;
+use xsched_core::CostModel;
 
 const EXPERIMENTS: &[&str] = &[
     "table1",
@@ -104,10 +106,38 @@ fn main() {
     } else {
         SweepMode::Run
     };
+    // Calibrate the cost model from a previous run's `--timings` dump;
+    // without one, the structural model predicts from scenario shape
+    // alone. Every shard of one sweep must use the same file (or none) —
+    // balanced slicing is deterministic in (plan, model).
+    let cost_model = args.calibrate.as_ref().map(|path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read timings file `{path}`: {e}");
+            std::process::exit(2);
+        });
+        let cells = decode_timings(&text).unwrap_or_else(|e| {
+            eprintln!("error: bad timings file `{path}`: {e}");
+            std::process::exit(2);
+        });
+        let model = CostModel::calibrated(&cells);
+        eprintln!(
+            "[calibrated {} cost buckets from {} cells in {path}]",
+            model.calibrated_buckets(),
+            cells.len()
+        );
+        Arc::new(model)
+    });
+    let timings_sink = args
+        .timings_out
+        .as_ref()
+        .map(|_| Arc::new(Mutex::new(Vec::new())));
     let opts = SweepOpts {
         seeds: args.seeds.clone(),
         threads: args.threads,
         mode,
+        balance: args.balance,
+        cost_model,
+        timings: timings_sink.clone(),
     };
     let rc = if args.quick { quick_rc() } else { full_rc() };
     // Controller sessions and MPL searches run many inner sims per
@@ -200,5 +230,16 @@ fn main() {
             println!("{report}");
         }
         eprintln!("[{name} took {:.1}s]\n", started.elapsed().as_secs_f64());
+    }
+
+    // Dump the run's per-cell timing telemetry; `--calibrate <file>` on
+    // the next run fits the cost model from it.
+    if let (Some(path), Some(sink)) = (&args.timings_out, &timings_sink) {
+        let cells = sink.lock().unwrap();
+        if let Err(e) = std::fs::write(path, encode_timings(&cells)) {
+            eprintln!("error: cannot write timings file `{path}`: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("[wrote {} cell timings to {path}]", cells.len());
     }
 }

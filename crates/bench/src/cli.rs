@@ -3,9 +3,64 @@
 //! A small hand-rolled parser (the build environment has no crates.io
 //! access, so `clap` cannot be vendored) covering exactly the surface the
 //! binary needs: `--quick`, `--seeds`, `--replications`, `--threads`,
-//! `--list`, `--help`, and positional experiment names. Parsing is pure —
-//! errors come back as `Err(String)` so both the binary and the unit
-//! tests can exercise every path.
+//! `--shard`, `--balance`, `--timings`, `--calibrate`, `--merge`,
+//! `--list`, `--help`, and positional experiment names. Parsing is pure
+//! and errors are **typed** ([`ArgError`]) so the binary can render a
+//! clean one-liner and the unit tests can assert on the exact failure,
+//! not a string.
+
+use std::fmt;
+use xsched_core::BalanceMode;
+
+/// A user-input problem with the argument vector. Every variant renders a
+/// one-line message through `Display`; the binary prints it with usage and
+/// exits 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// A flag that needs a value was last on the line.
+    MissingValue(String),
+    /// A value failed to parse; `want` says what shape was expected.
+    InvalidValue {
+        /// The flag the value belonged to.
+        flag: String,
+        /// The offending value as typed.
+        value: String,
+        /// Human description of the expected shape.
+        want: &'static str,
+    },
+    /// `--shard i/n` with `i` or `n` outside `1 ≤ i ≤ n` — rejected here
+    /// with a typed error instead of whatever a downstream assert would
+    /// have produced.
+    ShardOutOfRange {
+        /// 1-based shard index as given.
+        index: usize,
+        /// Total shard count as given.
+        of: usize,
+    },
+    /// An option the parser does not know.
+    UnknownOption(String),
+    /// Two flags that cannot be combined.
+    Conflict(&'static str),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingValue(flag) => write!(f, "{flag} needs a value"),
+            ArgError::InvalidValue { flag, value, want } => {
+                write!(f, "invalid value `{value}` for {flag} (want {want})")
+            }
+            ArgError::ShardOutOfRange { index, of } => write!(
+                f,
+                "shard index out of range in `{index}/{of}` (want 1 ≤ i ≤ n, n ≥ 1)"
+            ),
+            ArgError::UnknownOption(opt) => write!(f, "unknown option `{opt}` (see --help)"),
+            ArgError::Conflict(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
 
 /// Parsed command line for the `figures` binary.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -21,6 +76,12 @@ pub struct FiguresArgs {
     /// Run only shard `i` of `n` of every sweep (1-based `i`), printing
     /// encoded shard payloads instead of tables.
     pub shard: Option<(usize, usize)>,
+    /// How sweep task grids are sliced into shards.
+    pub balance: BalanceMode,
+    /// Write per-cell timing telemetry to this JSON file after the run.
+    pub timings_out: Option<String>,
+    /// Calibrate the cost model from a previously dumped timings file.
+    pub calibrate: Option<String>,
     /// Shard payload files to merge instead of simulating.
     pub merge: Vec<String>,
     /// Print the experiment list and exit.
@@ -48,10 +109,24 @@ OPTIONS:
                              (base = first --seeds value, or 42); tables
                              then print mean ±95% CI half-width per cell
     -t, --threads N          worker threads, 0 = one per core [default: 0]
-        --shard I/N          run only the I-th of N strided task slices
-                             (I is 1-based) and print encoded shard
-                             payloads to stdout instead of tables;
-                             redirect each shard's stdout to a file
+        --shard I/N          run only the I-th of N task slices (I is
+                             1-based) and print encoded shard payloads to
+                             stdout instead of tables; redirect each
+                             shard's stdout to a file
+        --balance MODE       how --shard slices the task grid: `stride`
+                             (static striding, the default) or `cost`
+                             (greedy LPT over predicted per-cell cost, so
+                             heterogeneous grids balance across hosts);
+                             every shard of one sweep must use the same
+                             mode and --calibrate file. Also orders
+                             in-process task claiming longest-first.
+        --timings FILE       after the run, dump per-cell wall-clock
+                             telemetry as JSON; feed it back with
+                             --calibrate on the next run
+        --calibrate FILE     calibrate the cost model from a --timings
+                             dump of a previous run (otherwise a
+                             structural model predicts from scenario
+                             shape alone)
         --merge FILES        comma-separated shard payload files; merge
                              them (running no sweep tasks) and print the
                              tables, byte-identical to an unsharded run
@@ -65,34 +140,57 @@ OPTIONS:
 Sharded sweeps: run each `--shard i/N` (same flags otherwise) on any
 mix of processes or hosts, collect the outputs, then `--merge` them:
 
-    figures --quick --shard 1/2 fig3 > s1.txt
-    figures --quick --shard 2/2 fig3 > s2.txt
+    figures --quick --shard 1/2 --balance cost fig3 > s1.txt
+    figures --quick --shard 2/2 --balance cost fig3 > s2.txt
     figures --quick --merge s1.txt,s2.txt fig3
+
+Cost calibration feedback loop (timings from any run improve the next):
+
+    figures --quick --timings t.json fig3
+    figures --quick --shard 1/2 --balance cost --calibrate t.json fig3
 ";
 
-fn parse_shard(v: &str) -> Result<(usize, usize), String> {
-    let err = || format!("invalid shard `{v}` (want e.g. `2/8`, 1-based)");
-    let (i, n) = v.split_once('/').ok_or_else(err)?;
-    let i: usize = i.trim().parse().map_err(|_| err())?;
-    let n: usize = n.trim().parse().map_err(|_| err())?;
+fn parse_shard(v: &str) -> Result<(usize, usize), ArgError> {
+    let invalid = || ArgError::InvalidValue {
+        flag: "--shard".into(),
+        value: v.to_string(),
+        want: "I/N, e.g. `2/8` (1-based)",
+    };
+    let (i, n) = v.split_once('/').ok_or_else(invalid)?;
+    let i: usize = i.trim().parse().map_err(|_| invalid())?;
+    let n: usize = n.trim().parse().map_err(|_| invalid())?;
     if i == 0 || n == 0 || i > n {
-        return Err(format!(
-            "shard index out of range in `{v}` (want 1 ≤ i ≤ n)"
-        ));
+        return Err(ArgError::ShardOutOfRange { index: i, of: n });
     }
     Ok((i, n))
 }
 
-fn parse_u64_list(v: &str) -> Result<Vec<u64>, String> {
+fn parse_balance(v: &str) -> Result<BalanceMode, ArgError> {
+    match v {
+        "stride" => Ok(BalanceMode::Stride),
+        "cost" => Ok(BalanceMode::Cost),
+        other => Err(ArgError::InvalidValue {
+            flag: "--balance".into(),
+            value: other.to_string(),
+            want: "`stride` or `cost`",
+        }),
+    }
+}
+
+fn parse_u64_list(flag: &str, v: &str) -> Result<Vec<u64>, ArgError> {
     let seeds: Result<Vec<u64>, _> = v.split(',').map(|s| s.trim().parse::<u64>()).collect();
     match seeds {
         Ok(s) if !s.is_empty() => Ok(s),
-        _ => Err(format!("invalid seed list `{v}` (want e.g. `42,43,44`)")),
+        _ => Err(ArgError::InvalidValue {
+            flag: flag.to_string(),
+            value: v.to_string(),
+            want: "a comma-separated seed list, e.g. `42,43,44`",
+        }),
     }
 }
 
 /// Parse the argument vector (without the program name).
-pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<FiguresArgs, String> {
+pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<FiguresArgs, ArgError> {
     let mut out = FiguresArgs::default();
     let mut replications: Option<usize> = None;
     let mut it = args.iter().map(AsRef::as_ref);
@@ -100,35 +198,46 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<FiguresArgs, String> {
         let mut value_for = |flag: &str| {
             it.next()
                 .map(str::to_string)
-                .ok_or_else(|| format!("{flag} needs a value"))
+                .ok_or_else(|| ArgError::MissingValue(flag.to_string()))
         };
         match arg {
             "-q" | "--quick" => out.quick = true,
             "-l" | "--list" => out.list = true,
             "-h" | "--help" => out.help = true,
-            "-s" | "--seeds" => out.seeds = parse_u64_list(&value_for(arg)?)?,
+            "-s" | "--seeds" => out.seeds = parse_u64_list(arg, &value_for(arg)?)?,
             "-r" | "--replications" => {
                 let v = value_for(arg)?;
-                let n: usize = v
-                    .parse()
-                    .map_err(|_| format!("invalid replication count `{v}`"))?;
+                let n: usize = v.parse().map_err(|_| ArgError::InvalidValue {
+                    flag: arg.to_string(),
+                    value: v.clone(),
+                    want: "a replication count ≥ 1",
+                })?;
                 if n == 0 {
-                    return Err("--replications must be at least 1".into());
+                    return Err(ArgError::InvalidValue {
+                        flag: arg.to_string(),
+                        value: v,
+                        want: "a replication count ≥ 1",
+                    });
                 }
                 replications = Some(n);
             }
             "-t" | "--threads" => {
                 let v = value_for(arg)?;
-                out.threads = v
-                    .parse()
-                    .map_err(|_| format!("invalid thread count `{v}`"))?;
+                out.threads = v.parse().map_err(|_| ArgError::InvalidValue {
+                    flag: arg.to_string(),
+                    value: v,
+                    want: "a thread count (0 = one per core)",
+                })?;
             }
             "--shard" => out.shard = Some(parse_shard(&value_for(arg)?)?),
+            "--balance" => out.balance = parse_balance(&value_for(arg)?)?,
+            "--timings" => out.timings_out = Some(value_for(arg)?),
+            "--calibrate" => out.calibrate = Some(value_for(arg)?),
             "--merge" => out
                 .merge
                 .extend(value_for(arg)?.split(',').map(|p| p.trim().to_string())),
             other if other.starts_with('-') => {
-                return Err(format!("unknown option `{other}` (see --help)"));
+                return Err(ArgError::UnknownOption(other.to_string()));
             }
             name => out.experiments.push(name.to_string()),
         }
@@ -138,7 +247,9 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<FiguresArgs, String> {
         out.seeds = (0..n as u64).map(|i| base.wrapping_add(i)).collect();
     }
     if out.shard.is_some() && !out.merge.is_empty() {
-        return Err("--shard and --merge are mutually exclusive".into());
+        return Err(ArgError::Conflict(
+            "--shard and --merge are mutually exclusive",
+        ));
     }
     Ok(out)
 }
@@ -151,6 +262,7 @@ mod tests {
     fn defaults() {
         let a = parse_args::<&str>(&[]).unwrap();
         assert_eq!(a, FiguresArgs::default());
+        assert_eq!(a.balance, BalanceMode::Stride);
     }
 
     #[test]
@@ -180,11 +292,34 @@ mod tests {
     }
 
     #[test]
-    fn errors_are_reported() {
-        assert!(parse_args(&["--seeds"]).is_err());
-        assert!(parse_args(&["--seeds", "x"]).is_err());
-        assert!(parse_args(&["--replications", "0"]).is_err());
-        assert!(parse_args(&["--bogus"]).is_err());
+    fn errors_are_typed() {
+        assert_eq!(
+            parse_args(&["--seeds"]).unwrap_err(),
+            ArgError::MissingValue("--seeds".into())
+        );
+        assert!(matches!(
+            parse_args(&["--seeds", "x"]).unwrap_err(),
+            ArgError::InvalidValue { .. }
+        ));
+        assert!(matches!(
+            parse_args(&["--replications", "0"]).unwrap_err(),
+            ArgError::InvalidValue { .. }
+        ));
+        assert_eq!(
+            parse_args(&["--bogus"]).unwrap_err(),
+            ArgError::UnknownOption("--bogus".into())
+        );
+        // Every variant renders a one-line message.
+        for args in [
+            vec!["--seeds"],
+            vec!["--seeds", "x"],
+            vec!["--bogus"],
+            vec!["--shard", "0/4"],
+            vec!["--shard", "1/2", "--merge", "a"],
+        ] {
+            let msg = parse_args(&args).unwrap_err().to_string();
+            assert!(!msg.is_empty() && !msg.contains('\n'), "{msg}");
+        }
     }
 
     #[test]
@@ -192,9 +327,58 @@ mod tests {
         let a = parse_args(&["--shard", "2/8", "fig3"]).unwrap();
         assert_eq!(a.shard, Some((2, 8)));
         assert_eq!(parse_args(&["--shard", "8/8"]).unwrap().shard, Some((8, 8)));
-        for bad in ["0/8", "9/8", "2", "a/b", "2/0", ""] {
-            assert!(parse_args(&["--shard", bad]).is_err(), "`{bad}`");
+    }
+
+    /// The satellite contract: out-of-range shard indices (i = 0, i > n,
+    /// n = 0) are rejected *here*, with a typed error carrying the
+    /// offending values, never reaching the executor's asserts.
+    #[test]
+    fn shard_out_of_range_is_a_typed_error() {
+        assert_eq!(
+            parse_args(&["--shard", "0/8"]).unwrap_err(),
+            ArgError::ShardOutOfRange { index: 0, of: 8 }
+        );
+        assert_eq!(
+            parse_args(&["--shard", "9/8"]).unwrap_err(),
+            ArgError::ShardOutOfRange { index: 9, of: 8 }
+        );
+        assert_eq!(
+            parse_args(&["--shard", "1/0"]).unwrap_err(),
+            ArgError::ShardOutOfRange { index: 1, of: 0 }
+        );
+        for malformed in ["2", "a/b", "", "1/2/3", "-1/2"] {
+            assert!(
+                matches!(
+                    parse_args(&["--shard", malformed]).unwrap_err(),
+                    ArgError::InvalidValue { .. }
+                ),
+                "`{malformed}`"
+            );
         }
+    }
+
+    #[test]
+    fn balance_timings_and_calibrate_parse() {
+        let a = parse_args(&[
+            "--balance",
+            "cost",
+            "--timings",
+            "t.json",
+            "--calibrate",
+            "prev.json",
+        ])
+        .unwrap();
+        assert_eq!(a.balance, BalanceMode::Cost);
+        assert_eq!(a.timings_out.as_deref(), Some("t.json"));
+        assert_eq!(a.calibrate.as_deref(), Some("prev.json"));
+        assert_eq!(
+            parse_args(&["--balance", "stride"]).unwrap().balance,
+            BalanceMode::Stride
+        );
+        assert!(matches!(
+            parse_args(&["--balance", "random"]).unwrap_err(),
+            ArgError::InvalidValue { .. }
+        ));
     }
 
     #[test]
@@ -205,7 +389,10 @@ mod tests {
 
     #[test]
     fn shard_and_merge_are_mutually_exclusive() {
-        assert!(parse_args(&["--shard", "1/2", "--merge", "a.txt"]).is_err());
+        assert_eq!(
+            parse_args(&["--shard", "1/2", "--merge", "a.txt"]).unwrap_err(),
+            ArgError::Conflict("--shard and --merge are mutually exclusive")
+        );
     }
 
     #[test]

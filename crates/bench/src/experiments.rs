@@ -12,8 +12,8 @@ use crate::fmt::{f0, f1, f2, f3, ms, table};
 use crate::table::{pivot_table, Col};
 use std::sync::{Arc, Mutex};
 use xsched_core::{
-    ArrivalSpec, ExecSpec, MplSpec, PolicyKind, RunConfig, Scenario, ScenarioResult, ShardResult,
-    SweepExecutor, SweepPlan, Targets,
+    ArrivalSpec, BalanceMode, CellTiming, CostModel, ExecSpec, MplSpec, PolicyKind, RunConfig,
+    Scenario, ScenarioResult, ShardResult, SweepExecutor, SweepPlan, Targets,
 };
 use xsched_dbms::{CpuPolicy, LockPriorityPolicy};
 use xsched_queueing::{flex::FlexServer, mg1, recommend, ClosedNetwork, ThroughputModel, H2};
@@ -98,7 +98,8 @@ pub enum SweepMode {
 }
 
 /// How a report executes its sweep: replication seeds, worker threads,
-/// and the execution mode (full, sharded, or merge).
+/// the execution mode (full, sharded, or merge), shard balancing, and
+/// optional per-cell timing telemetry.
 #[derive(Debug, Clone, Default)]
 pub struct SweepOpts {
     /// Replication seeds; every scenario runs once per seed and cells
@@ -110,17 +111,38 @@ pub struct SweepOpts {
     pub threads: usize,
     /// Full, sharded, or merge execution.
     pub mode: SweepMode,
+    /// How `Shard` mode slices task grids (striding or cost-balanced
+    /// LPT). Every shard of one sweep must use the same mode and model.
+    pub balance: BalanceMode,
+    /// Cost model for balancing and longest-first task claiming; `None`
+    /// uses the structural model.
+    pub cost_model: Option<Arc<CostModel>>,
+    /// When set, per-cell wall-clock telemetry from every executed sweep
+    /// is appended here ([`CellTiming`]: bucket, structural units,
+    /// seconds) — the feed for `figures --timings` and the next run's
+    /// calibration.
+    pub timings: Option<Arc<Mutex<Vec<CellTiming>>>>,
 }
 
 impl SweepOpts {
     /// Execute `scenarios` under these options.
     pub fn run(&self, scenarios: Vec<Scenario>) -> Vec<ScenarioResult> {
         let plan = SweepPlan::new(scenarios).with_seeds(self.seeds.clone());
-        let executor = SweepExecutor::parallel(self.threads);
+        let mut executor = SweepExecutor::parallel(self.threads).with_balance(self.balance);
+        if let Some(model) = &self.cost_model {
+            executor = executor.with_cost_model(Arc::clone(model));
+        }
         match &self.mode {
-            SweepMode::Run => executor.run(&plan),
+            SweepMode::Run => {
+                // The degenerate one-shard run, so the telemetry path is
+                // the same as a split run's; assembly is unchanged.
+                let shard = executor.run_shard(&plan, 0, 1);
+                self.record_timings(&plan, &shard);
+                shard.partial_results(&plan)
+            }
             SweepMode::Shard { index, of, sink } => {
                 let shard = executor.run_shard(&plan, *index, *of);
+                self.record_timings(&plan, &shard);
                 sink.lock().unwrap().push(shard.encode());
                 shard.partial_results(&plan)
             }
@@ -136,6 +158,23 @@ impl SweepOpts {
                     ))),
                 }
             }
+        }
+    }
+
+    /// Append this shard's per-task wall-clock telemetry to the timing
+    /// sink, tagged with each cell's cost bucket and structural units so
+    /// [`CostModel::calibrated`] can fit seconds-per-unit from it.
+    fn record_timings(&self, plan: &SweepPlan, shard: &ShardResult) {
+        let Some(sink) = &self.timings else { return };
+        let tasks = plan.tasks();
+        let mut sink = sink.lock().unwrap();
+        for &(t, secs) in &shard.timings {
+            let scenario = &plan.scenarios[tasks[t].0];
+            sink.push(CellTiming {
+                bucket: CostModel::bucket(scenario),
+                units: CostModel::units(scenario),
+                secs,
+            });
         }
     }
 }
@@ -237,23 +276,7 @@ pub fn throughput_curves(
     rc: &RunConfig,
     opts: &SweepOpts,
 ) -> (String, Vec<Vec<f64>>) {
-    let scenarios: Vec<Scenario> = labeled_setups(labels)
-        .into_iter()
-        .flat_map(|(label, s)| {
-            let rc = rc_for(s.id, rc);
-            grid.iter()
-                .map(|&m| {
-                    Scenario::tput(
-                        format!("{label} (setup {})", s.id),
-                        s.clone(),
-                        m,
-                        rc.clone(),
-                    )
-                })
-                .collect::<Vec<_>>()
-        })
-        .collect();
-    let results = opts.run(scenarios);
+    let results = opts.run(tput_scenarios(labels, grid, rc));
 
     let cols: Vec<Col> = grid
         .iter()
@@ -269,19 +292,46 @@ pub fn throughput_curves(
     (report, curves)
 }
 
+/// The `(curve label, setup id)` rows of Fig. 2 — a deliberately
+/// heterogeneous grid: the browsing setups run 5× the transactions of the
+/// inventory ones (see [`rc_for`]), which is what makes it the
+/// shard-balancing benchmark's test bed.
+pub const FIG2_LABELS: [(&str, u32); 4] = [
+    ("W_CPU-inventory 1 CPU", 1),
+    ("W_CPU-inventory 2 CPUs", 2),
+    ("W_CPU-browsing 1 CPU", 3),
+    ("W_CPU-browsing 2 CPUs", 4),
+];
+
+/// The scenario grid behind [`fig2_report`] (labels × [`MPL_GRID`]).
+pub fn fig2_scenarios(rc: &RunConfig) -> Vec<Scenario> {
+    tput_scenarios(&FIG2_LABELS, &MPL_GRID, rc)
+}
+
+/// Scenario grid of a throughput-vs-MPL figure: labeled setups × MPL
+/// grid, with per-setup run-length scaling ([`rc_for`]).
+pub fn tput_scenarios(labels: &[(&str, u32)], grid: &[u32], rc: &RunConfig) -> Vec<Scenario> {
+    labeled_setups(labels)
+        .into_iter()
+        .flat_map(|(label, s)| {
+            let rc = rc_for(s.id, rc);
+            grid.iter()
+                .map(|&m| {
+                    Scenario::tput(
+                        format!("{label} (setup {})", s.id),
+                        s.clone(),
+                        m,
+                        rc.clone(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
 /// Fig. 2: throughput vs. MPL for the CPU-bound workloads, 1 vs 2 CPUs.
 pub fn fig2_report(rc: &RunConfig, opts: &SweepOpts) -> String {
-    let (t, _) = throughput_curves(
-        &[
-            ("W_CPU-inventory 1 CPU", 1),
-            ("W_CPU-inventory 2 CPUs", 2),
-            ("W_CPU-browsing 1 CPU", 3),
-            ("W_CPU-browsing 2 CPUs", 4),
-        ],
-        &MPL_GRID,
-        rc,
-        opts,
-    );
+    let (t, _) = throughput_curves(&FIG2_LABELS, &MPL_GRID, rc, opts);
     format!("Fig. 2 — effect of MPL on throughput, CPU-bound workloads\n{t}")
 }
 
@@ -352,10 +402,12 @@ pub fn c2_report() -> String {
     )
 }
 
-/// §3.2 (open system): mean response time vs. MPL at fixed load for a
-/// low-variability (TPC-C) and a high-variability (TPC-W) workload.
-pub fn rt_open_report(rc: &RunConfig, opts: &SweepOpts) -> String {
-    let mpls = [2u32, 4, 8, 15, 30, 100];
+/// The MPL grid of the open-system response-time experiment.
+const RT_OPEN_MPLS: [u32; 6] = [2, 4, 8, 15, 30, 100];
+
+/// The scenario grid behind [`rt_open_report`]: (workload × load × MPL)
+/// open-load cells, the second workload 5× the run length of the first.
+pub fn rt_open_scenarios(rc: &RunConfig) -> Vec<Scenario> {
     let mut scenarios = Vec::new();
     for (label, id) in [
         ("W_CPU-inventory (C2~1)", 1u32),
@@ -363,7 +415,7 @@ pub fn rt_open_report(rc: &RunConfig, opts: &SweepOpts) -> String {
     ] {
         let rc = rc_for(id, rc);
         for load in [0.7, 0.9] {
-            for &m in &mpls {
+            for &m in &RT_OPEN_MPLS {
                 scenarios.push(Scenario {
                     row: format!("{label} load {load}"),
                     col: format!("MPL {m}"),
@@ -378,8 +430,14 @@ pub fn rt_open_report(rc: &RunConfig, opts: &SweepOpts) -> String {
             }
         }
     }
-    let results = opts.run(scenarios);
-    let cols: Vec<Col> = mpls
+    scenarios
+}
+
+/// §3.2 (open system): mean response time vs. MPL at fixed load for a
+/// low-variability (TPC-C) and a high-variability (TPC-W) workload.
+pub fn rt_open_report(rc: &RunConfig, opts: &SweepOpts) -> String {
+    let results = opts.run(rt_open_scenarios(rc));
+    let cols: Vec<Col> = RT_OPEN_MPLS
         .iter()
         .map(|m| Col::new(format!("MPL {m}"), "mean_rt", format!("MPL {m} (ms)"), ms))
         .collect();

@@ -1,0 +1,577 @@
+//! Structural cost model for sweep tasks.
+//!
+//! Grid cells in the paper's experiments differ in wall-clock cost by
+//! orders of magnitude: a browsing-workload cell runs 5× the transactions
+//! of an inventory cell (see `rc_for` in `xsched-bench`), an open-load
+//! cell pays an extra capacity-reference run, and a priority or controller
+//! cell runs a whole *family* of inner simulations. Static strided
+//! sharding ignores all of that, so the slowest shard gates a multi-host
+//! sweep. A [`CostModel`] predicts per-task cost from scenario
+//! *structure* — transactions × MPL × load class × execution shape — and
+//! [`SweepPlan::shard_balanced`](crate::SweepPlan::shard_balanced) turns
+//! those predictions into LPT-balanced shard slices.
+//!
+//! Predictions come in two flavors:
+//!
+//! * [`CostModel::structural`] — pure structural units, no measurement
+//!   needed. Good enough to beat striding on heterogeneous grids because
+//!   the big cost ratios (run length, inner-simulation fan-out) are
+//!   visible in the scenario itself.
+//! * [`CostModel::calibrated`] — scales the structural units with
+//!   measured seconds-per-unit per *bucket* (execution shape × arrival
+//!   class × workload), fed by the per-cell timing telemetry every
+//!   [`ShardResult`](crate::ShardResult) now records. `figures
+//!   --timings out.json` dumps a run's telemetry; `--calibrate out.json`
+//!   feeds it back into the next run's model.
+//!
+//! Balanced slicing is deterministic in `(plan, model)`: every shard
+//! process must therefore use the same calibration file (or none), just
+//! as every shard must already share the plan-defining flags. Merging
+//! validates the partition either way, so a mismatch fails loudly instead
+//! of silently double-running cells.
+
+use crate::scenario::{ArrivalSpec, ExecSpec, MplSpec, Scenario};
+use std::collections::BTreeMap;
+
+/// One cell's timing telemetry: which cost bucket it fell in, the model's
+/// structural units, and the measured wall-clock seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellTiming {
+    /// Calibration bucket key (see [`CostModel::bucket`]).
+    pub bucket: String,
+    /// Structural cost units predicted for the cell ([`CostModel::units`]).
+    pub units: f64,
+    /// Measured wall-clock seconds for the cell.
+    pub secs: f64,
+}
+
+/// Predicts per-task wall-clock cost from scenario structure, optionally
+/// calibrated against recorded per-cell timings.
+#[derive(Debug, Clone, Default)]
+pub struct CostModel {
+    /// Measured seconds per structural unit, per bucket.
+    scales: BTreeMap<String, f64>,
+    /// Measured seconds of one capacity (reference) run, per capacity
+    /// class (`workload/c<cpus>d<disks>`), learned from the within-bucket
+    /// spread of open-load cells (see [`CostModel::calibrated`]).
+    capacity_secs: BTreeMap<String, f64>,
+    /// Fallback seconds-per-unit for buckets never observed (1.0 for the
+    /// uncalibrated structural model, the global mean after calibration).
+    default_scale: f64,
+}
+
+impl CostModel {
+    /// The uncalibrated model: predictions are raw structural units.
+    pub fn structural() -> CostModel {
+        CostModel {
+            scales: BTreeMap::new(),
+            capacity_secs: BTreeMap::new(),
+            default_scale: 1.0,
+        }
+    }
+
+    /// A model with explicit per-bucket scales — the constructor the
+    /// adversarial property tests use (zero, huge, or non-finite scales
+    /// must still yield exact shard partitions).
+    pub fn with_scales(scales: BTreeMap<String, f64>, default_scale: f64) -> CostModel {
+        CostModel {
+            scales,
+            capacity_secs: BTreeMap::new(),
+            default_scale,
+        }
+    }
+
+    /// Fit per-bucket seconds-per-unit from recorded cell timings, with
+    /// the global `Σ secs / Σ units` ratio as the fallback for unseen
+    /// buckets. Per bucket the scale is the **minimum** observed ratio,
+    /// not the mean: cells that happened to pay a shared capacity
+    /// (reference) run or a scheduling hiccup read high, and the cheapest
+    /// observation of a cell class is the best estimate of its marginal
+    /// cost — the capacity run is charged separately, per shard per
+    /// group (see [`CostModel::capacity_group`]). The reference cost
+    /// itself is learned from the same telemetry: within an open-load
+    /// bucket, the spread between the dearest and cheapest observation is
+    /// one reference run (the dearest cell paid it, the cheapest hit the
+    /// cache), and the largest spread over a capacity class's buckets
+    /// estimates that class's reference seconds. Robust to junk input —
+    /// non-finite or non-positive samples are dropped.
+    pub fn calibrated(timings: &[CellTiming]) -> CostModel {
+        let mut samples: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+        let (mut all_secs, mut all_units) = (0.0f64, 0.0f64);
+        for t in timings {
+            if !(t.secs.is_finite() && t.units.is_finite() && t.secs > 0.0 && t.units > 0.0) {
+                continue;
+            }
+            let ratio = t.secs / t.units;
+            if ratio.is_finite() && ratio > 0.0 {
+                samples.entry(&t.bucket).or_default().push(t.secs);
+                all_secs += t.secs;
+                all_units += t.units;
+            }
+        }
+        let global = if all_units > 0.0 && all_secs > 0.0 {
+            all_secs / all_units
+        } else {
+            1.0
+        };
+
+        // Reference seconds per capacity class, from the within-bucket
+        // max−min spread of multi-sample open-load buckets. Bucket keys
+        // are `exec/arrivals/workload/cXdY/mZ`; the class is
+        // `workload/cXdY`.
+        let mut capacity_secs: BTreeMap<String, f64> = BTreeMap::new();
+        for (bucket, secs) in &samples {
+            let parts: Vec<&str> = bucket.split('/').collect();
+            let [_, arrivals, workload, hw, _] = parts[..] else {
+                continue;
+            };
+            if arrivals != "open_load" || secs.len() < 2 {
+                continue;
+            }
+            let max = secs.iter().cloned().fold(f64::MIN, f64::max);
+            let min = secs.iter().cloned().fold(f64::MAX, f64::min);
+            let spread = max - min;
+            if spread > 0.0 && spread.is_finite() {
+                let class = format!("{workload}/{hw}");
+                let e = capacity_secs.entry(class).or_insert(0.0);
+                *e = e.max(spread);
+            }
+        }
+
+        // Units cancel within a bucket (same cell class), so min seconds
+        // over the bucket divided by the mean units would equal the min
+        // ratio; recompute ratios from the kept samples directly.
+        let mut scales = BTreeMap::new();
+        for t in timings {
+            if !(t.secs.is_finite() && t.units.is_finite() && t.secs > 0.0 && t.units > 0.0) {
+                continue;
+            }
+            let ratio = t.secs / t.units;
+            if ratio.is_finite() && ratio > 0.0 {
+                let e = scales.entry(t.bucket.clone()).or_insert(f64::INFINITY);
+                *e = f64::min(*e, ratio);
+            }
+        }
+        scales.retain(|_, s| s.is_finite() && *s > 0.0);
+        CostModel {
+            scales,
+            capacity_secs,
+            default_scale: global,
+        }
+    }
+
+    /// Calibration bucket of a scenario: execution shape × arrival class
+    /// × workload × hardware × MPL class. Deliberately fine-grained — the
+    /// primary calibration use is re-running the *same* grid (timings
+    /// from one run feed the next), where a per-cell-class
+    /// seconds-per-unit table beats any parametric fit: measured cost
+    /// grows with MPL far faster than event-count scaling suggests (lock
+    /// conflicts, abort work), and 1-CPU vs 2-CPU variants of a workload
+    /// genuinely differ. Unseen buckets fall back to the global scale, so
+    /// a coarser timing file still calibrates.
+    pub fn bucket(scenario: &Scenario) -> String {
+        let exec = match &scenario.exec {
+            ExecSpec::Run {
+                mpl: MplSpec::AtLoss(_),
+                ..
+            } => "run_atloss",
+            ExecSpec::Run { .. } => "run",
+            ExecSpec::PriorityAtLoss { .. } => "priority",
+            ExecSpec::Controller { .. } => "controller",
+        };
+        let arrivals = match &scenario.exec {
+            ExecSpec::Run { arrivals, .. } => match arrivals {
+                ArrivalSpec::Saturated => "saturated",
+                ArrivalSpec::ClosedThink(_) => "closed_think",
+                ArrivalSpec::OpenRate(_) => "open_rate",
+                ArrivalSpec::OpenLoad(_) => "open_load",
+            },
+            // Priority and controller cells drive their own arrival
+            // shapes internally.
+            _ => "internal",
+        };
+        let mpl = match &scenario.exec {
+            ExecSpec::Run { mpl, .. } => match mpl {
+                MplSpec::Fixed(m) => format!("m{m}"),
+                MplSpec::Unlimited => "munl".to_string(),
+                MplSpec::AtLoss(_) => "mloss".to_string(),
+            },
+            _ => "m-".to_string(),
+        };
+        format!(
+            "{exec}/{arrivals}/{}/c{}d{}/{mpl}",
+            scenario.setup.workload.name, scenario.setup.hw.cpus, scenario.setup.hw.data_disks
+        )
+    }
+
+    /// Structural cost units of a scenario: transactions × an MPL factor
+    /// × multipliers for the execution shape and load class. Unit-free —
+    /// only *ratios* between cells matter for balancing; calibration maps
+    /// units onto seconds.
+    pub fn units(scenario: &Scenario) -> f64 {
+        let txns = (scenario.rc.warmup_txns + scenario.rc.measured_txns) as f64;
+        // Cost per transaction grows with concurrency well beyond the
+        // event-count increase — lock conflicts, deadlock handling, and
+        // abort/retry work all scale with the admitted population.
+        // Measured quick-grid cells run ~2–3× slower at MPL 40 than at
+        // MPL 1 on the same run length; 1 + mpl/40 tracks that band.
+        let mpl = match &scenario.exec {
+            ExecSpec::Run { mpl, .. } => match mpl {
+                MplSpec::Fixed(m) => f64::from(*m),
+                MplSpec::Unlimited => f64::from(scenario.setup.clients),
+                // Resolved by search; the search multiplier below carries
+                // the real cost, use a mid-range population here.
+                MplSpec::AtLoss(_) => 10.0,
+            },
+            _ => 10.0,
+        };
+        let mpl_factor = 1.0 + mpl / 40.0;
+        let exec_mult = match &scenario.exec {
+            ExecSpec::Run {
+                mpl: MplSpec::AtLoss(_),
+                ..
+            } => 12.0, // exponential + binary MPL search ≈ a dozen runs
+            ExecSpec::Run { .. } => 1.0,
+            ExecSpec::PriorityAtLoss { .. } => 14.0, // search + reference + priority runs
+            ExecSpec::Controller { .. } => 8.0,      // windowed sessions until convergence
+        };
+        txns * mpl_factor * exec_mult
+    }
+
+    /// The shared capacity-measurement group of a task, if its cell
+    /// resolves an open-load arrival through the plan-level
+    /// [`MeasurementCache`](crate::MeasurementCache): every task with the
+    /// same key performs (or reuses) **one** reference run per process.
+    /// Cost-balanced slicing charges [`CostModel::capacity_cost`] once
+    /// per shard per group — the marginal cost of the second open-load
+    /// cell on a shard is much lower than the first's, and treating them
+    /// as independent mispredicts both. The heavy shapes (`AtLoss`,
+    /// priority, controller) also resolve references, but their inner
+    /// simulation fan-out dominates and is carried by the execution-shape
+    /// multiplier instead, so they get no group.
+    pub fn capacity_group(scenario: &Scenario, seed: u64) -> Option<String> {
+        match &scenario.exec {
+            ExecSpec::Run {
+                mpl: MplSpec::Fixed(_) | MplSpec::Unlimited,
+                arrivals: ArrivalSpec::OpenLoad(_),
+                ..
+            } => {
+                let (a, b) = scenario.setup.stable_fingerprint();
+                // Cover every RunConfig field a reference run depends on,
+                // mirroring MeasurementKey: cells merged into one group
+                // here must genuinely share a cache entry, or the
+                // balancer undercounts reference runs.
+                let rc = &scenario.rc;
+                Some(format!(
+                    "{a:016x}{b:016x}|{}|{}|{:016x}|{:016x}|{}|{:016x}|{seed}",
+                    rc.warmup_txns,
+                    rc.measured_txns,
+                    rc.max_sim_time.to_bits(),
+                    rc.min_warmup_time.to_bits(),
+                    u8::from(rc.warm_pool),
+                    rc.high_fraction.to_bits(),
+                ))
+            }
+            _ => None,
+        }
+    }
+
+    /// Predicted cost of one capacity (reference) run for this cell's
+    /// group. Calibrated models that learned the class's reference
+    /// seconds from timing telemetry use the measurement; otherwise the
+    /// structural estimate is a saturated MPL-less run over the full
+    /// client population at the cell's run length, scaled by the global
+    /// calibration scale. Zero for cells with no capacity group.
+    pub fn capacity_cost(&self, scenario: &Scenario) -> f64 {
+        if !matches!(
+            &scenario.exec,
+            ExecSpec::Run {
+                mpl: MplSpec::Fixed(_) | MplSpec::Unlimited,
+                arrivals: ArrivalSpec::OpenLoad(_),
+                ..
+            }
+        ) {
+            return 0.0;
+        }
+        let class = format!(
+            "{}/c{}d{}",
+            scenario.setup.workload.name, scenario.setup.hw.cpus, scenario.setup.hw.data_disks
+        );
+        let cost = match self.capacity_secs.get(&class) {
+            Some(&secs) => secs,
+            None => {
+                let txns = (scenario.rc.warmup_txns + scenario.rc.measured_txns) as f64;
+                let units = txns * (1.0 + f64::from(scenario.setup.clients) / 40.0);
+                units * self.default_scale
+            }
+        };
+        if cost.is_finite() && cost > 0.0 {
+            cost
+        } else if cost == f64::INFINITY {
+            f64::MAX
+        } else {
+            0.0
+        }
+    }
+
+    /// Predicted cost of a scenario in (possibly calibrated) units.
+    /// Always finite and non-negative, whatever the scales hold — the
+    /// balancing code sums these into shard loads.
+    pub fn predict(&self, scenario: &Scenario) -> f64 {
+        let scale = self
+            .scales
+            .get(&Self::bucket(scenario))
+            .copied()
+            .unwrap_or(self.default_scale);
+        let cost = Self::units(scenario) * scale;
+        if cost.is_finite() && cost > 0.0 {
+            cost
+        } else if cost == f64::INFINITY {
+            f64::MAX
+        } else {
+            0.0
+        }
+    }
+
+    /// Number of calibrated buckets (0 for the structural model).
+    pub fn calibrated_buckets(&self) -> usize {
+        self.scales.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Timings file codec. The vendored serde is marker-only, so the dump the
+// `figures --timings` flag writes is hand-rolled JSON in a fixed
+// one-cell-per-line shape, and the reader parses exactly that shape. The
+// round-trip test locks writer and reader together.
+
+/// One cell timing as a single JSON object literal — the line shape
+/// [`decode_timings`] parses. Shared by [`encode_timings`] and the
+/// hotpath bench's `cells` block so the two cannot drift apart.
+pub fn encode_timing_cell(c: &CellTiming) -> String {
+    // Bucket keys are generated from identifiers and contain no
+    // characters that need JSON escaping; drop any that would.
+    let bucket: String = c
+        .bucket
+        .chars()
+        .filter(|ch| ch.is_ascii() && *ch != '"' && *ch != '\\')
+        .collect();
+    format!(
+        "{{\"bucket\": \"{bucket}\", \"units\": {:.3}, \"secs\": {:.6}}}",
+        c.units, c.secs
+    )
+}
+
+/// Render cell timings as the `xsched-timings-v1` JSON document.
+pub fn encode_timings(cells: &[CellTiming]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"xsched-timings-v1\",\n  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {}{}\n",
+            encode_timing_cell(c),
+            if i + 1 < cells.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parse a document produced by [`encode_timings`].
+pub fn decode_timings(text: &str) -> Result<Vec<CellTiming>, String> {
+    if !text.contains("xsched-timings-v1") {
+        return Err("not an xsched-timings-v1 document".to_string());
+    }
+    let mut cells = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.starts_with('{') || !line.contains("\"bucket\"") {
+            continue;
+        }
+        let field = |name: &str| -> Result<&str, String> {
+            let tag = format!("\"{name}\":");
+            let rest = line
+                .split_once(&tag)
+                .ok_or_else(|| format!("cell line missing `{name}`: {line}"))?
+                .1
+                .trim_start();
+            let end = rest
+                .find([',', '}'])
+                .ok_or_else(|| format!("unterminated `{name}` in: {line}"))?;
+            Ok(rest[..end].trim())
+        };
+        let bucket = field("bucket")?.trim_matches('"').to_string();
+        let num = |name: &str| -> Result<f64, String> {
+            field(name)?
+                .parse::<f64>()
+                .map_err(|e| format!("bad `{name}` in `{line}`: {e}"))
+        };
+        cells.push(CellTiming {
+            bucket,
+            units: num("units")?,
+            secs: num("secs")?,
+        });
+    }
+    Ok(cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{PolicyKind, RunConfig};
+    use xsched_workload::setup;
+
+    fn run_scenario(id: u32, mpl: u32, txns: u64, arrivals: ArrivalSpec) -> Scenario {
+        Scenario {
+            row: "r".into(),
+            col: "c".into(),
+            setup: setup(id),
+            exec: ExecSpec::Run {
+                mpl: MplSpec::Fixed(mpl),
+                policy: PolicyKind::Fifo,
+                arrivals,
+            },
+            rc: RunConfig {
+                warmup_txns: txns / 4,
+                measured_txns: txns,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn structural_units_track_the_big_cost_drivers() {
+        let cheap = run_scenario(1, 5, 800, ArrivalSpec::Saturated);
+        let long = run_scenario(1, 5, 4_000, ArrivalSpec::Saturated);
+        let crowded = run_scenario(1, 40, 800, ArrivalSpec::Saturated);
+        let open = run_scenario(1, 5, 800, ArrivalSpec::OpenLoad(0.9));
+        let model = CostModel::structural();
+        assert!(model.predict(&long) > 4.0 * model.predict(&cheap));
+        assert!(model.predict(&crowded) > 1.5 * model.predict(&cheap));
+        // An open-load cell's run cost matches its closed twin; the
+        // shared reference run is charged separately, once per shard per
+        // capacity group.
+        assert!(model.capacity_cost(&cheap) == 0.0);
+        assert!(model.capacity_cost(&open) > model.predict(&open));
+        assert!(CostModel::capacity_group(&cheap, 42).is_none());
+        let g1 = CostModel::capacity_group(&open, 42).unwrap();
+        let g2 = CostModel::capacity_group(&open, 43).unwrap();
+        assert_ne!(g1, g2, "capacity runs are per (setup, rc, seed)");
+        assert_eq!(
+            g1,
+            CostModel::capacity_group(&run_scenario(1, 30, 800, ArrivalSpec::OpenLoad(0.7)), 42)
+                .unwrap(),
+            "cells differing only in MPL and load share one reference"
+        );
+
+        let heavy = Scenario {
+            exec: ExecSpec::PriorityAtLoss { loss: 0.05 },
+            ..cheap.clone()
+        };
+        assert!(
+            model.predict(&heavy) > 10.0 * model.predict(&cheap),
+            "a priority cell runs a family of inner simulations"
+        );
+    }
+
+    #[test]
+    fn buckets_separate_exec_arrival_and_workload() {
+        let a = run_scenario(1, 5, 800, ArrivalSpec::Saturated);
+        let b = run_scenario(1, 5, 800, ArrivalSpec::OpenLoad(0.7));
+        let c = run_scenario(3, 5, 800, ArrivalSpec::Saturated);
+        let keys: Vec<String> = [&a, &b, &c].iter().map(|s| CostModel::bucket(s)).collect();
+        assert_ne!(keys[0], keys[1]);
+        assert_ne!(keys[0], keys[2]);
+        assert!(keys[0].starts_with("run/saturated/"));
+    }
+
+    #[test]
+    fn calibration_scales_predictions_per_bucket() {
+        let fast = run_scenario(1, 5, 800, ArrivalSpec::Saturated);
+        let slow = run_scenario(3, 5, 800, ArrivalSpec::Saturated);
+        // Same structural units, but the "slow" bucket measured 10× the
+        // seconds per unit.
+        let u = CostModel::units(&fast);
+        let timings = vec![
+            CellTiming {
+                bucket: CostModel::bucket(&fast),
+                units: u,
+                secs: 0.1,
+            },
+            CellTiming {
+                bucket: CostModel::bucket(&slow),
+                units: u,
+                secs: 1.0,
+            },
+        ];
+        let model = CostModel::calibrated(&timings);
+        assert_eq!(model.calibrated_buckets(), 2);
+        let (pf, ps) = (model.predict(&fast), model.predict(&slow));
+        assert!(
+            (ps / pf - 10.0).abs() < 1e-9,
+            "calibrated ratio must match measured ratio, got {}",
+            ps / pf
+        );
+    }
+
+    #[test]
+    fn calibration_survives_junk_timings() {
+        let s = run_scenario(1, 5, 800, ArrivalSpec::Saturated);
+        let junk = vec![
+            CellTiming {
+                bucket: "x".into(),
+                units: 0.0,
+                secs: 1.0,
+            },
+            CellTiming {
+                bucket: "y".into(),
+                units: f64::NAN,
+                secs: 1.0,
+            },
+            CellTiming {
+                bucket: "z".into(),
+                units: 10.0,
+                secs: f64::INFINITY,
+            },
+        ];
+        let model = CostModel::calibrated(&junk);
+        assert_eq!(model.calibrated_buckets(), 0);
+        let p = model.predict(&s);
+        assert!(p.is_finite() && p > 0.0, "junk-calibrated predict: {p}");
+    }
+
+    #[test]
+    fn predictions_are_always_finite_and_non_negative() {
+        let s = run_scenario(1, 5, 800, ArrivalSpec::Saturated);
+        for scale in [0.0, -3.0, f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+            let model = CostModel::with_scales(BTreeMap::new(), scale);
+            let p = model.predict(&s);
+            assert!(p.is_finite() && p >= 0.0, "scale {scale} gave {p}");
+        }
+    }
+
+    #[test]
+    fn timings_codec_round_trips() {
+        let cells = vec![
+            CellTiming {
+                bucket: "run/saturated/W_CPU-inventory".into(),
+                units: 945.0,
+                secs: 0.1234,
+            },
+            CellTiming {
+                bucket: "priority/internal/W_CPU-browsing".into(),
+                units: 67_200.5,
+                secs: 12.5,
+            },
+        ];
+        let text = encode_timings(&cells);
+        let back = decode_timings(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        for (a, b) in cells.iter().zip(&back) {
+            assert_eq!(a.bucket, b.bucket);
+            assert!((a.units - b.units).abs() < 1e-3);
+            assert!((a.secs - b.secs).abs() < 1e-6);
+        }
+        assert!(decode_timings("{}").is_err());
+        assert!(decode_timings(&encode_timings(&[])).unwrap().is_empty());
+    }
+}

@@ -29,12 +29,18 @@
 //! * [`cache`] — the plan-level [`MeasurementCache`] memoizing capacity
 //!   (reference) runs so open-load grids measure each `(setup, seed)`
 //!   capacity exactly once;
+//! * [`cost`] — the [`CostModel`] predicting per-task wall-clock cost
+//!   from scenario structure (calibratable from recorded per-cell
+//!   timings), which drives cost-balanced shard slicing
+//!   ([`SweepPlan::shard_balanced`]) and longest-cell-first task claiming
+//!   inside the executor;
 //! * [`shard`] — [`ShardResult`] and its bit-exact merge/codec, so a
 //!   sweep's flat task grid can be split across processes or hosts and
 //!   reassembled identically to an unsharded run.
 
 pub mod cache;
 pub mod controller;
+pub mod cost;
 pub mod driver;
 pub mod gate;
 pub mod policy;
@@ -45,10 +51,11 @@ pub mod sweep;
 
 pub use cache::{MeasurementCache, MeasurementKey, MeasurementKind};
 pub use controller::{ControllerConfig, Decision, MplController, Reference, Targets};
+pub use cost::{CellTiming, CostModel};
 pub use driver::{ControllerOutcome, Driver, PolicyKind, PriorityOutcome, RunConfig, RunResult};
 pub use gate::MplGate;
 pub use policy::{Fifo, PriorityFifo, QueuePolicy, QueuedTxn, Sjf, WeightedFair};
 pub use scenario::{ArrivalSpec, ExecSpec, MplSpec, Scenario, ScenarioOutcome};
 pub use scheduler::ExternalScheduler;
 pub use shard::ShardResult;
-pub use sweep::{ScenarioResult, SweepExecutor, SweepPlan};
+pub use sweep::{BalanceMode, ScenarioResult, SweepExecutor, SweepPlan};

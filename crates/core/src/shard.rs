@@ -36,6 +36,13 @@ pub struct ShardResult {
     pub task_count: usize,
     /// `(global task index, outcome)` pairs for this shard's slice.
     pub entries: Vec<(usize, ScenarioOutcome)>,
+    /// `(global task index, wall-clock seconds)` telemetry for the tasks
+    /// this shard executed. Observational only: it rides the wire format
+    /// as an optional trailing section and never participates in merge
+    /// validation or result assembly, so runs with different timings
+    /// still merge to byte-identical tables. Empty for decoded payloads
+    /// that carried no timings.
+    pub timings: Vec<(usize, f64)>,
 }
 
 impl ShardResult {
@@ -97,7 +104,8 @@ impl ShardResult {
     /// Serialize to the plain-text wire format (one header line, one line
     /// per task). Floats are written as IEEE-754 bit patterns, so
     /// `decode(encode(x))` reproduces every field of every outcome
-    /// bit for bit.
+    /// bit for bit. Per-task timings follow the entries as `timing`
+    /// lines — an optional section older payloads simply lack.
     pub fn encode(&self) -> String {
         let mut out = format!(
             "xsched-shard v1 plan={:016x} tasks={} shard={} of={} entries={}\n",
@@ -109,6 +117,9 @@ impl ShardResult {
         );
         for (t, outcome) in &self.entries {
             out.push_str(&format!("{t} {}\n", encode_outcome(outcome)));
+        }
+        for (t, secs) in &self.timings {
+            out.push_str(&format!("timing {t} {}\n", fh(*secs)));
         }
         out
     }
@@ -138,7 +149,19 @@ impl ShardResult {
         let entries_len = parse(get("entries")?)?;
 
         let mut entries = Vec::with_capacity(entries_len);
+        let mut timings = Vec::new();
         for line in lines {
+            if let Some(rest) = line.strip_prefix("timing ") {
+                let (idx, bits) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| format!("malformed timing line `{line}`"))?;
+                let t: usize = idx.parse().map_err(|e| format!("bad timing index: {e}"))?;
+                let secs = u64::from_str_radix(bits, 16)
+                    .map(f64::from_bits)
+                    .map_err(|e| format!("bad timing bits `{bits}`: {e}"))?;
+                timings.push((t, secs));
+                continue;
+            }
             let (idx, rest) = line
                 .split_once(' ')
                 .ok_or_else(|| format!("malformed entry line `{line}`"))?;
@@ -157,6 +180,7 @@ impl ShardResult {
             plan_fingerprint,
             task_count,
             entries,
+            timings,
         })
     }
 }
@@ -492,6 +516,32 @@ mod tests {
             assert_eq!(ta, tb);
             assert_eq!(encode_outcome(a), encode_outcome(b));
         }
+        // The timing telemetry rides along bit-exactly, one line per
+        // executed task.
+        assert_eq!(decoded.timings.len(), shard.entries.len());
+        for ((ta, a), (tb, b)) in shard.timings.iter().zip(&decoded.timings) {
+            assert_eq!(ta, tb);
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn payloads_without_timings_still_decode() {
+        let plan = tiny_plan();
+        let shard = SweepExecutor::serial().run_shard(&plan, 0, 2);
+        let stripped: String = shard
+            .encode()
+            .lines()
+            .filter(|l| !l.starts_with("timing "))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let decoded = ShardResult::decode(&stripped).unwrap();
+        assert_eq!(decoded.entries.len(), shard.entries.len());
+        assert!(decoded.timings.is_empty());
+        // And the timing section never affects the merge.
+        let other = SweepExecutor::serial().run_shard(&plan, 1, 2);
+        let merged = ShardResult::merge(&plan, [&decoded, &other]).unwrap();
+        assert_eq!(merged.len(), plan.scenarios.len());
     }
 
     #[test]

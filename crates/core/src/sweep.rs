@@ -11,12 +11,26 @@
 //! intervals next to every mean.
 
 use crate::cache::MeasurementCache;
+use crate::cost::CostModel;
 use crate::scenario::{Scenario, ScenarioOutcome};
 use crate::shard::ShardResult;
 use serde::Serialize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 use xsched_sim::{ConfidenceInterval, Replications};
+
+/// How a sweep's task grid is sliced into shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BalanceMode {
+    /// Static striding: shard `i` of `n` takes tasks `i, i+n, i+2n, …`.
+    /// Balanced only when neighbouring cells cost about the same.
+    #[default]
+    Stride,
+    /// Cost-balanced LPT slices from [`SweepPlan::shard_balanced`], using
+    /// the executor's [`CostModel`].
+    Cost,
+}
 
 /// Scenarios × replication seeds: the unit of execution.
 #[derive(Debug, Clone, Serialize)]
@@ -91,6 +105,78 @@ impl SweepPlan {
         (index..self.task_count()).step_by(of).collect()
     }
 
+    /// The task indices shard `index` of `of` executes under
+    /// **cost-balanced** slicing: greedy LPT assignment — tasks in
+    /// predicted-cost-descending order, each to the shard whose load
+    /// after taking it is lowest. The assignment is *capacity-aware*:
+    /// tasks sharing a [`CostModel::capacity_group`] amortize one
+    /// reference run per shard through the plan cache, so the group's
+    /// [`CostModel::capacity_cost`] is charged only for the first member
+    /// a shard receives — which both predicts real cost correctly and
+    /// nudges cache-mates onto the same shard.
+    ///
+    /// Deterministic in `(plan, model)`: ties in cost break by task index
+    /// and ties in load by shard task count then shard index, so every
+    /// process slicing the same plan with the same model computes the
+    /// same partition. For *any* model (zero, huge, or degenerate costs)
+    /// the `of` slices exactly partition [`SweepPlan::tasks`] — the
+    /// property tests pin this.
+    pub fn shard_balanced(&self, index: usize, of: usize, model: &CostModel) -> Vec<usize> {
+        assert!(of > 0, "a sweep splits into at least one shard");
+        assert!(index < of, "shard index {index} out of range for {of}");
+        let tasks = self.tasks();
+        let costs: Vec<f64> = tasks
+            .iter()
+            .map(|&(si, _)| model.predict(&self.scenarios[si]))
+            .collect();
+        let capacity: Vec<Option<(String, f64)>> = tasks
+            .iter()
+            .map(|&(si, seed)| {
+                let scenario = &self.scenarios[si];
+                CostModel::capacity_group(scenario, seed)
+                    .map(|group| (group, model.capacity_cost(scenario)))
+            })
+            .collect();
+        // Order by the cost of running the task on a shard that has
+        // nothing yet (run + its reference), descending.
+        let full = |t: usize| costs[t] + capacity[t].as_ref().map_or(0.0, |(_, c)| *c);
+        let mut order: Vec<usize> = (0..tasks.len()).collect();
+        order.sort_by(|&a, &b| full(b).total_cmp(&full(a)).then(a.cmp(&b)));
+
+        let mut load = vec![0.0f64; of];
+        let mut groups: Vec<std::collections::BTreeSet<&str>> = vec![Default::default(); of];
+        let mut slices: Vec<Vec<usize>> = vec![Vec::new(); of];
+        for t in order {
+            // Marginal cost on shard s: the reference is free if s
+            // already holds a group-mate.
+            let marginal = |s: usize| {
+                costs[t]
+                    + match &capacity[t] {
+                        Some((group, c)) if !groups[s].contains(group.as_str()) => *c,
+                        _ => 0.0,
+                    }
+            };
+            let s = (0..of)
+                .min_by(|&a, &b| {
+                    (load[a] + marginal(a))
+                        .total_cmp(&(load[b] + marginal(b)))
+                        .then(slices[a].len().cmp(&slices[b].len()))
+                        .then(a.cmp(&b))
+                })
+                .expect("at least one shard");
+            // `predict`/`capacity_cost` are finite and non-negative, so
+            // loads stay sane for comparison whatever the model.
+            load[s] += marginal(s);
+            if let Some((group, _)) = &capacity[t] {
+                groups[s].insert(group.as_str());
+            }
+            slices[s].push(t);
+        }
+        let mut mine = std::mem::take(&mut slices[index]);
+        mine.sort_unstable();
+        mine
+    }
+
     /// Order-sensitive fingerprint of everything execution depends on
     /// (scenarios and seed list). Shard payloads carry it so a merge can
     /// refuse results produced from a different plan.
@@ -151,6 +237,8 @@ impl ScenarioResult {
 pub struct SweepExecutor {
     threads: usize,
     cache: Option<Arc<MeasurementCache>>,
+    cost_model: Arc<CostModel>,
+    balance: BalanceMode,
 }
 
 impl SweepExecutor {
@@ -159,6 +247,8 @@ impl SweepExecutor {
         SweepExecutor {
             threads: 1,
             cache: None,
+            cost_model: Arc::new(CostModel::structural()),
+            balance: BalanceMode::Stride,
         }
     }
 
@@ -171,7 +261,7 @@ impl SweepExecutor {
         };
         SweepExecutor {
             threads,
-            cache: None,
+            ..SweepExecutor::serial()
         }
     }
 
@@ -181,6 +271,22 @@ impl SweepExecutor {
     /// same setups.
     pub fn with_cache(mut self, cache: Arc<MeasurementCache>) -> SweepExecutor {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Replace the cost model (default: [`CostModel::structural`]). The
+    /// model orders in-process task claiming (longest cells start first)
+    /// and defines the slices under [`BalanceMode::Cost`]; it never
+    /// affects result bytes.
+    pub fn with_cost_model(mut self, model: Arc<CostModel>) -> SweepExecutor {
+        self.cost_model = model;
+        self
+    }
+
+    /// Choose how [`SweepExecutor::run_shard`] slices the task grid
+    /// (default: static striding).
+    pub fn with_balance(mut self, balance: BalanceMode) -> SweepExecutor {
+        self.balance = balance;
         self
     }
 
@@ -203,25 +309,56 @@ impl SweepExecutor {
         assemble(plan, full.entries)
     }
 
-    /// Execute shard `index` of `of` — the strided task slice
-    /// [`SweepPlan::shard`] — and return its slot-indexed outcomes.
+    /// Execute shard `index` of `of` — the strided slice
+    /// [`SweepPlan::shard`] or, under [`BalanceMode::Cost`], the
+    /// LPT-balanced slice [`SweepPlan::shard_balanced`] — and return its
+    /// slot-indexed outcomes plus per-task wall-clock timings.
     ///
     /// Shards are independent: split a plan across processes or hosts,
     /// ship each [`ShardResult`] back (see [`ShardResult::encode`]), and
     /// [`ShardResult::merge`] reassembles the full sweep bit-identically
-    /// to an unsharded run.
+    /// to an unsharded run. Within the process, workers claim tasks in
+    /// predicted-cost-descending order so the longest cells start first —
+    /// outcomes land in slots indexed by task id, so claim order (like
+    /// thread count) never changes a result byte.
     pub fn run_shard(&self, plan: &SweepPlan, index: usize, of: usize) -> ShardResult {
         let tasks = plan.tasks();
-        let mine = plan.shard(index, of);
+        let mine = match self.balance {
+            BalanceMode::Stride => plan.shard(index, of),
+            BalanceMode::Cost => plan.shard_balanced(index, of, &self.cost_model),
+        };
         let cache = self.cache.clone().unwrap_or_else(MeasurementCache::shared);
 
-        let slots: Vec<Mutex<Option<ScenarioOutcome>>> =
+        // `claim[k]` is the position in `mine` the k-th claim executes:
+        // predicted-cost-descending, ties by task index. Capacity costs
+        // count toward the ordering so the cell that will trigger a
+        // shared reference run starts early.
+        let cost: Vec<f64> = mine
+            .iter()
+            .map(|&t| {
+                let (si, seed) = tasks[t];
+                let scenario = &plan.scenarios[si];
+                self.cost_model.predict(scenario)
+                    + CostModel::capacity_group(scenario, seed)
+                        .map_or(0.0, |_| self.cost_model.capacity_cost(scenario))
+            })
+            .collect();
+        let mut claim: Vec<usize> = (0..mine.len()).collect();
+        claim.sort_by(|&a, &b| cost[b].total_cmp(&cost[a]).then(mine[a].cmp(&mine[b])));
+
+        let slots: Vec<Mutex<Option<(ScenarioOutcome, f64)>>> =
             mine.iter().map(|_| Mutex::new(None)).collect();
 
+        let run_task = |pos: usize| {
+            let (si, seed) = tasks[mine[pos]];
+            let started = Instant::now();
+            let outcome = plan.scenarios[si].run_cached(seed, Some(&cache));
+            *slots[pos].lock().unwrap() = Some((outcome, started.elapsed().as_secs_f64()));
+        };
+
         if self.threads <= 1 || mine.len() <= 1 {
-            for (&t, slot) in mine.iter().zip(&slots) {
-                let (si, seed) = tasks[t];
-                *slot.lock().unwrap() = Some(plan.scenarios[si].run_cached(seed, Some(&cache)));
+            for pos in 0..mine.len() {
+                run_task(pos);
             }
         } else {
             let next = AtomicUsize::new(0);
@@ -230,34 +367,32 @@ impl SweepExecutor {
                 for _ in 0..workers {
                     scope.spawn(|| loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(&t) = mine.get(i) else {
+                        let Some(&pos) = claim.get(i) else {
                             break;
                         };
-                        let (si, seed) = tasks[t];
-                        let outcome = plan.scenarios[si].run_cached(seed, Some(&cache));
-                        *slots[i].lock().unwrap() = Some(outcome);
+                        run_task(pos);
                     });
                 }
             });
         }
 
-        let entries = mine
-            .into_iter()
-            .zip(slots)
-            .map(|(t, slot)| {
-                let outcome = slot
-                    .into_inner()
-                    .unwrap()
-                    .expect("every sweep task produces an outcome");
-                (t, outcome)
-            })
-            .collect();
+        let mut entries = Vec::with_capacity(mine.len());
+        let mut timings = Vec::with_capacity(mine.len());
+        for (t, slot) in mine.into_iter().zip(slots) {
+            let (outcome, secs) = slot
+                .into_inner()
+                .unwrap()
+                .expect("every sweep task produces an outcome");
+            entries.push((t, outcome));
+            timings.push((t, secs));
+        }
         ShardResult {
             shard: index,
             of,
             plan_fingerprint: plan.fingerprint(),
             task_count: tasks.len(),
             entries,
+            timings,
         }
     }
 }
@@ -417,6 +552,92 @@ mod tests {
             assert_eq!(all, (0..plan.task_count()).collect::<Vec<_>>(), "n={n}");
         }
         assert!(plan.shard(3, 4).iter().all(|t| t % 4 == 3));
+    }
+
+    /// A plan whose cells differ in predicted cost by ~5× (short vs long
+    /// runs), laid out in the blocky row-major order real figures use.
+    fn lopsided_plan() -> SweepPlan {
+        let mut scenarios = Vec::new();
+        for (txns, n) in [(250u64, 8usize), (1_250, 4)] {
+            let rc = RunConfig {
+                warmup_txns: 50,
+                measured_txns: txns,
+                ..Default::default()
+            };
+            for i in 0..n {
+                scenarios.push(Scenario::tput(
+                    format!("{txns}t{i}"),
+                    setup(1),
+                    5,
+                    rc.clone(),
+                ));
+            }
+        }
+        SweepPlan::new(scenarios)
+    }
+
+    #[test]
+    fn balanced_shards_partition_and_beat_striding_on_predicted_load() {
+        let plan = lopsided_plan();
+        let model = crate::cost::CostModel::structural();
+        let predicted: Vec<f64> = plan
+            .tasks()
+            .iter()
+            .map(|&(si, _)| model.predict(&plan.scenarios[si]))
+            .collect();
+        let imbalance = |slices: &[Vec<usize>]| -> f64 {
+            let loads: Vec<f64> = slices
+                .iter()
+                .map(|s| s.iter().map(|&t| predicted[t]).sum())
+                .collect();
+            loads.iter().cloned().fold(f64::MIN, f64::max)
+                / loads.iter().cloned().fold(f64::MAX, f64::min)
+        };
+        for n in [2usize, 3, 4] {
+            let balanced: Vec<Vec<usize>> =
+                (0..n).map(|i| plan.shard_balanced(i, n, &model)).collect();
+            let mut all: Vec<usize> = balanced.iter().flatten().copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..plan.task_count()).collect::<Vec<_>>(), "n={n}");
+
+            let strided: Vec<Vec<usize>> = (0..n).map(|i| plan.shard(i, n)).collect();
+            assert!(
+                imbalance(&balanced) <= imbalance(&strided) + 1e-9,
+                "n={n}: balanced {} vs strided {}",
+                imbalance(&balanced),
+                imbalance(&strided)
+            );
+        }
+        // The 4-expensive/8-cheap split at n=4: LPT gives every shard one
+        // expensive cell; striding (period 4 over a blocky layout) gives
+        // two shards two expensive cells and two shards none.
+        let balanced: Vec<Vec<usize>> = (0..4).map(|i| plan.shard_balanced(i, 4, &model)).collect();
+        assert!(imbalance(&balanced) < 1.5);
+    }
+
+    #[test]
+    fn cost_balanced_execution_is_bit_identical_and_times_every_task() {
+        let plan = quick_plan();
+        let direct = SweepExecutor::serial().run(&plan);
+        let model = Arc::new(crate::cost::CostModel::structural());
+        let shards: Vec<ShardResult> = (0..3)
+            .map(|i| {
+                SweepExecutor::parallel(2)
+                    .with_cost_model(Arc::clone(&model))
+                    .with_balance(BalanceMode::Cost)
+                    .run_shard(&plan, i, 3)
+            })
+            .collect();
+        for s in &shards {
+            assert_eq!(s.timings.len(), s.entries.len());
+            assert!(s.timings.iter().all(|&(_, secs)| secs >= 0.0));
+        }
+        let merged = ShardResult::merge(&plan, &shards).unwrap();
+        for (d, m) in direct.iter().zip(&merged) {
+            for (a, b) in d.outcomes.iter().zip(&m.outcomes) {
+                assert_eq!(encode_outcome(a), encode_outcome(b));
+            }
+        }
     }
 
     #[test]
