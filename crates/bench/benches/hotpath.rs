@@ -29,17 +29,19 @@ use xsched_bench::{
 };
 use xsched_core::cost::encode_timing_cell;
 use xsched_core::{BalanceMode, CellTiming, CostModel, SweepExecutor, SweepPlan};
-use xsched_dbms::{DbmsSim, StepOutcome};
+use xsched_dbms::{CountingSink, DbmsSim, NoopTrace, StepOutcome, TraceSink};
 use xsched_workload::{setup, TxnGen};
 
 /// Raw event-loop rate: a saturated closed system on setup 1 driven
 /// straight against the simulator (no external scheduler), measured over
-/// a fixed number of processed events.
-fn measure_events_per_sec() -> (u64, f64) {
+/// a fixed number of processed events. Generic over the trace sink so
+/// the same loop measures both the disabled path (`NoopTrace`, which
+/// must compile away) and an attached `CountingSink`.
+fn measure_events_per_sec<T: TraceSink>(trace: T) -> (u64, f64, T) {
     const TARGET_EVENTS: u64 = 400_000;
     const CLIENTS: usize = 16;
     let s = setup(1);
-    let mut sim = DbmsSim::new(s.hw.clone(), s.cfg.clone(), 7);
+    let mut sim = DbmsSim::with_trace(s.hw.clone(), s.cfg.clone(), 7, trace);
     let mut gen = TxnGen::new(s.workload.clone(), 7);
     for _ in 0..CLIENTS {
         let body = gen.next();
@@ -58,7 +60,8 @@ fn measure_events_per_sec() -> (u64, f64) {
             sim.submit(body, now);
         }
     }
-    (sim.events_processed(), t0.elapsed().as_secs_f64())
+    let events = sim.events_processed();
+    (events, t0.elapsed().as_secs_f64(), sim.into_trace())
 }
 
 fn figure_benches(c: &mut Criterion) {
@@ -134,11 +137,20 @@ fn json_shard_mode(walls: &[f64]) -> String {
 fn main() {
     let mut c = Criterion::default();
     figure_benches(&mut c);
-    let (events, wall) = measure_events_per_sec();
+    let (events, wall, _) = measure_events_per_sec(NoopTrace);
     let events_per_sec = events as f64 / wall;
     println!(
         "{:<40} {events} events in {wall:.3} s  ({:.0} events/s)",
         "raw_sim/events", events_per_sec
+    );
+    // The same loop with a CountingSink attached: the gap between the
+    // two rates is the real cost of enabling tracing, and CI gates only
+    // the disabled-path rate (the sink-attached rate is informational).
+    let (traced_events, traced_wall, sink) = measure_events_per_sec(CountingSink::default());
+    let traced_events_per_sec = traced_events as f64 / traced_wall;
+    println!(
+        "{:<40} {traced_events} events in {traced_wall:.3} s  ({:.0} events/s, {} trace records)",
+        "raw_sim/events_traced", traced_events_per_sec, sink.total
     );
 
     // Shard-balance experiment on the heterogeneous fig2 + rt_open quick
@@ -178,7 +190,8 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
-        "  \"events\": {{\"count\": {events}, \"wall_secs\": {wall:.6}, \"events_per_sec\": {events_per_sec:.1}}},\n"
+        "  \"events\": {{\"count\": {events}, \"wall_secs\": {wall:.6}, \"events_per_sec\": {events_per_sec:.1}, \"traced_events_per_sec\": {traced_events_per_sec:.1}, \"trace_records\": {}}},\n",
+        sink.total
     ));
     json.push_str(&format!(
         "  \"shard_balance\": {{\n    \"shards\": {SHARDS},\n    \"tasks\": {},\n    \"stride\": {},\n    \"cost\": {},\n    \"improvement\": {:.4}\n  }},\n",

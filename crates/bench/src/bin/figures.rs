@@ -28,7 +28,7 @@ use xsched_bench::cli::{parse_args, USAGE};
 use xsched_bench::*;
 use xsched_core::cost::{decode_timings, encode_timings};
 use xsched_core::shard::decode_payloads;
-use xsched_core::CostModel;
+use xsched_core::{CostModel, SweepObs};
 
 const EXPERIMENTS: &[&str] = &[
     "table1",
@@ -127,10 +127,11 @@ fn main() {
         );
         Arc::new(model)
     });
-    let timings_sink = args
-        .timings_out
-        .as_ref()
-        .map(|_| Arc::new(Mutex::new(Vec::new())));
+    // The metrics snapshot embeds the timings section, so --metrics
+    // forces cell-timing collection even without --timings.
+    let timings_sink = (args.timings_out.is_some() || args.metrics_out.is_some())
+        .then(|| Arc::new(Mutex::new(Vec::new())));
+    let obs = args.metrics_out.as_ref().map(|_| Arc::new(SweepObs::new()));
     let opts = SweepOpts {
         seeds: args.seeds.clone(),
         threads: args.threads,
@@ -138,6 +139,8 @@ fn main() {
         balance: args.balance,
         cost_model,
         timings: timings_sink.clone(),
+        obs: obs.clone(),
+        progress: args.progress,
     };
     let rc = if args.quick { quick_rc() } else { full_rc() };
     // Controller sessions and MPL searches run many inner sims per
@@ -229,7 +232,12 @@ fn main() {
         } else {
             println!("{report}");
         }
-        eprintln!("[{name} took {:.1}s]\n", started.elapsed().as_secs_f64());
+        let elapsed = started.elapsed().as_secs_f64();
+        if let Some(obs) = &obs {
+            obs.registry()
+                .gauge_add(&format!("figures.{name}.secs"), elapsed);
+        }
+        eprintln!("[{name} took {elapsed:.1}s]\n");
     }
 
     // Dump the run's per-cell timing telemetry; `--calibrate <file>` on
@@ -241,5 +249,23 @@ fn main() {
             std::process::exit(2);
         }
         eprintln!("[wrote {} cell timings to {path}]", cells.len());
+    }
+
+    // The full observability snapshot: metrics registry + the timings
+    // section (same schema --calibrate reads) + controller series.
+    if let (Some(path), Some(obs)) = (&args.metrics_out, &obs) {
+        let cells = timings_sink
+            .as_ref()
+            .map(|s| s.lock().unwrap().clone())
+            .unwrap_or_default();
+        if let Err(e) = std::fs::write(path, obs.snapshot(&cells)) {
+            eprintln!("error: cannot write metrics file `{path}`: {e}");
+            std::process::exit(2);
+        }
+        eprintln!(
+            "[wrote metrics snapshot ({} cells, {} controller series) to {path}]",
+            cells.len(),
+            obs.controller_series().len()
+        );
     }
 }

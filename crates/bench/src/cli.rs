@@ -80,6 +80,11 @@ pub struct FiguresArgs {
     pub balance: BalanceMode,
     /// Write per-cell timing telemetry to this JSON file after the run.
     pub timings_out: Option<String>,
+    /// Write the full observability snapshot (metrics registry, timings,
+    /// controller telemetry series) to this JSON file after the run.
+    pub metrics_out: Option<String>,
+    /// Print a per-task progress ticker to stderr while sweeps run.
+    pub progress: bool,
     /// Calibrate the cost model from a previously dumped timings file.
     pub calibrate: Option<String>,
     /// Shard payload files to merge instead of simulating.
@@ -122,11 +127,21 @@ OPTIONS:
                              in-process task claiming longest-first.
         --timings FILE       after the run, dump per-cell wall-clock
                              telemetry as JSON; feed it back with
-                             --calibrate on the next run
+                             --calibrate on the next run (alias for the
+                             timings section of --metrics)
+        --metrics FILE       after the run, write the full observability
+                             snapshot as JSON: metrics registry (worker/
+                             shard progress, cache hits/misses, task-time
+                             histogram), the --timings cell telemetry,
+                             and every controller session's MPL/queue/
+                             latency time series. The file embeds the
+                             timings schema, so --calibrate accepts it
+        --progress           print a per-task completion ticker to stderr
+                             while sweeps run (stdout stays table-only)
         --calibrate FILE     calibrate the cost model from a --timings
-                             dump of a previous run (otherwise a
-                             structural model predicts from scenario
-                             shape alone)
+                             or --metrics dump of a previous run
+                             (otherwise a structural model predicts from
+                             scenario shape alone)
         --merge FILES        comma-separated shard payload files; merge
                              them (running no sweep tasks) and print the
                              tables, byte-identical to an unsharded run
@@ -232,6 +247,8 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<FiguresArgs, ArgError> {
             "--shard" => out.shard = Some(parse_shard(&value_for(arg)?)?),
             "--balance" => out.balance = parse_balance(&value_for(arg)?)?,
             "--timings" => out.timings_out = Some(value_for(arg)?),
+            "--metrics" => out.metrics_out = Some(value_for(arg)?),
+            "--progress" => out.progress = true,
             "--calibrate" => out.calibrate = Some(value_for(arg)?),
             "--merge" => out
                 .merge
@@ -379,6 +396,21 @@ mod tests {
             parse_args(&["--balance", "random"]).unwrap_err(),
             ArgError::InvalidValue { .. }
         ));
+    }
+
+    #[test]
+    fn metrics_and_progress_parse() {
+        let a = parse_args(&["--metrics", "m.json", "--progress", "fig2"]).unwrap();
+        assert_eq!(a.metrics_out.as_deref(), Some("m.json"));
+        assert!(a.progress);
+        assert_eq!(a.experiments, ["fig2"]);
+        let b = parse_args::<&str>(&[]).unwrap();
+        assert_eq!(b.metrics_out, None);
+        assert!(!b.progress);
+        assert_eq!(
+            parse_args(&["--metrics"]).unwrap_err(),
+            ArgError::MissingValue("--metrics".into())
+        );
     }
 
     #[test]

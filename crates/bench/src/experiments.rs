@@ -13,7 +13,7 @@ use crate::table::{pivot_table, Col};
 use std::sync::{Arc, Mutex};
 use xsched_core::{
     ArrivalSpec, BalanceMode, CellTiming, CostModel, ExecSpec, MplSpec, PolicyKind, RunConfig,
-    Scenario, ScenarioResult, ShardResult, SweepExecutor, SweepPlan, Targets,
+    Scenario, ScenarioResult, ShardResult, SweepExecutor, SweepObs, SweepPlan, Targets,
 };
 use xsched_dbms::{CpuPolicy, LockPriorityPolicy};
 use xsched_queueing::{flex::FlexServer, mg1, recommend, ClosedNetwork, ThroughputModel, H2};
@@ -122,15 +122,28 @@ pub struct SweepOpts {
     /// seconds) — the feed for `figures --timings` and the next run's
     /// calibration.
     pub timings: Option<Arc<Mutex<Vec<CellTiming>>>>,
+    /// When set, every executed sweep records execution telemetry
+    /// (worker/shard progress, cache hits/misses, task-time histogram,
+    /// controller series) into this shared sink — the feed for
+    /// `figures --metrics`. Observational only: result bytes never
+    /// change.
+    pub obs: Option<Arc<SweepObs>>,
+    /// Print a per-task completion ticker to stderr while sweeps run.
+    pub progress: bool,
 }
 
 impl SweepOpts {
     /// Execute `scenarios` under these options.
     pub fn run(&self, scenarios: Vec<Scenario>) -> Vec<ScenarioResult> {
         let plan = SweepPlan::new(scenarios).with_seeds(self.seeds.clone());
-        let mut executor = SweepExecutor::parallel(self.threads).with_balance(self.balance);
+        let mut executor = SweepExecutor::parallel(self.threads)
+            .with_balance(self.balance)
+            .with_progress(self.progress);
         if let Some(model) = &self.cost_model {
             executor = executor.with_cost_model(Arc::clone(model));
+        }
+        if let Some(obs) = &self.obs {
+            executor = executor.with_obs(Arc::clone(obs));
         }
         match &self.mode {
             SweepMode::Run => {

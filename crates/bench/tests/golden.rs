@@ -14,6 +14,7 @@
 //! commit must print the same bytes on every host and thread count.
 
 use xsched_bench::{fig2_report, fig7_report, quick_rc, SweepOpts};
+use xsched_core::{Driver, Targets};
 
 fn check(name: &str, rendered: &str) {
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -56,4 +57,19 @@ fn fig2_quick_table_matches_golden_snapshot() {
 #[test]
 fn fig7_table_matches_golden_snapshot() {
     check("fig7.txt", &fig7_report());
+}
+
+/// The controller telemetry series — per-tick MPL setpoint, queue
+/// length, throughput, and response-time percentiles — must be
+/// bit-stable: the snapshot pins the exact float bits of every tick of
+/// a `--quick`-scale 20%-target session on setup 1.
+#[test]
+fn controller_series_quick_matches_golden_snapshot() {
+    let d = Driver::new(xsched_workload::setup(1)).with_config(quick_rc());
+    let (_, series) = d.run_controller_with_series(Targets::twenty_percent(), None);
+    assert!(!series.is_empty(), "a converging session emits ticks");
+    check("controller_series_quick.txt", &series.encode_text());
+    // Determinism claim: a second session reproduces the same bytes.
+    let (_, again) = d.run_controller_with_series(Targets::twenty_percent(), None);
+    assert_eq!(series.encode_text(), again.encode_text());
 }

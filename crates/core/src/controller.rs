@@ -158,7 +158,9 @@ impl MplController {
             down_streak: 0,
             up_streak: 0,
             converged: false,
-            trace: Vec::new(),
+            // Pre-sized past the paper's <10-iteration bound so sessions
+            // (and their telemetry) never grow this buffer mid-run.
+            trace: Vec::with_capacity(32),
         }
     }
 

@@ -27,6 +27,7 @@ use serde::Serialize;
 use std::sync::Arc;
 use xsched_dbms::txn::{PageId, Priority};
 use xsched_dbms::{Completion, DbmsMetrics, DbmsSim, StepOutcome};
+use xsched_obs::{ControllerSeries, ControllerTick, LogHistogram, NoopTrace, TraceSink};
 use xsched_sim::{BatchMeans, SampleSet, SimRng, SimTime, Welford};
 use xsched_workload::{ArrivalProcess, Setup, TxnGen};
 
@@ -116,6 +117,15 @@ pub struct RunResult {
     pub count_low: u64,
     /// 95th percentile of overall response time, seconds.
     pub p95_rt: f64,
+    /// Histogram-derived 95th percentile of overall response time,
+    /// seconds. Computed from the mergeable log-bucketed histogram
+    /// (`xsched-obs`), so it is quantized to bucket midpoints; the
+    /// sample-exact `p95_rt` is unchanged and remains the figures'
+    /// column.
+    pub rt_p95: f64,
+    /// Histogram-derived 99th percentile of overall response time,
+    /// seconds (same quantization as `rt_p95`).
+    pub rt_p99: f64,
     /// Squared coefficient of variation of response times.
     pub c2_rt: f64,
     /// 95% batch-means half-width of `mean_rt` over this *single* run
@@ -260,7 +270,22 @@ impl Driver {
 
     /// Execute one run at the given MPL, policy and arrival process.
     pub fn run(&self, mpl: u32, kind: PolicyKind, arrivals: &ArrivalProcess) -> RunResult {
-        self.run_inner(mpl, kind, arrivals, None).0
+        self.run_inner(mpl, kind, arrivals, None, None, NoopTrace).0
+    }
+
+    /// Execute one run with a trace sink attached to the simulator,
+    /// returning the sink alongside the result. Tracing is strictly
+    /// observational: the [`RunResult`] is bit-identical to the one
+    /// [`Driver::run`] produces for the same arguments.
+    pub fn run_traced<T: TraceSink>(
+        &self,
+        mpl: u32,
+        kind: PolicyKind,
+        arrivals: &ArrivalProcess,
+        trace: T,
+    ) -> (RunResult, T) {
+        let (result, _, trace) = self.run_inner(mpl, kind, arrivals, None, None, trace);
+        (result, trace)
     }
 
     /// The saturated closed system of the throughput experiments.
@@ -367,6 +392,33 @@ impl Driver {
         targets: Targets,
         start: Option<u32>,
     ) -> ControllerOutcome {
+        self.controller_session(targets, start, None)
+    }
+
+    /// Controller session that additionally captures a per-reaction
+    /// telemetry time series: at every controller decision the MPL
+    /// setpoint left in force, the external queue length, and the
+    /// throughput and response-time percentiles of the observation
+    /// window that just closed. The series is a pure function of
+    /// `(setup, run config, targets, start)` and the returned
+    /// [`ControllerOutcome`] is bit-identical to
+    /// [`Driver::run_controller_with_start`].
+    pub fn run_controller_with_series(
+        &self,
+        targets: Targets,
+        start: Option<u32>,
+    ) -> (ControllerOutcome, ControllerSeries) {
+        let mut series = ControllerSeries::with_capacity(64);
+        let out = self.controller_session(targets, start, Some(&mut series));
+        (out, series)
+    }
+
+    fn controller_session(
+        &self,
+        targets: Targets,
+        start: Option<u32>,
+        series: Option<&mut ControllerSeries>,
+    ) -> ControllerOutcome {
         let reference = self.reference();
         let cpus = self.setup.hw.cpus;
         let utils = reference.utilizations(cpus);
@@ -394,11 +446,13 @@ impl Driver {
         };
         let initial = start.unwrap_or(jump);
         let controller = MplController::new(cfg, reference_ctl, initial);
-        let (_, ctl) = self.run_inner(
+        let (_, ctl, _) = self.run_inner(
             initial,
             PolicyKind::Fifo,
             &self.saturated(),
             Some(controller),
+            series,
+            NoopTrace,
         );
         let ctl = ctl.expect("controller returned");
         ControllerOutcome {
@@ -414,16 +468,43 @@ impl Driver {
 
     // ------------------------------------------------------------------
 
-    fn run_inner(
+    fn run_inner<T: TraceSink>(
         &self,
         mpl: u32,
         kind: PolicyKind,
         arrivals: &ArrivalProcess,
         mut controller: Option<MplController>,
-    ) -> (RunResult, Option<MplController>) {
+        mut series: Option<&mut ControllerSeries>,
+        trace: T,
+    ) -> (RunResult, Option<MplController>, T) {
+        // Closes one controller observation window into a telemetry tick
+        // and resets the window accumulators.
+        fn close_tick(
+            series: &mut ControllerSeries,
+            win_hist: &mut LogHistogram,
+            win_count: &mut u64,
+            win_start: f64,
+            now: f64,
+            mpl: u32,
+            queue_len: u64,
+        ) {
+            let span = (now - win_start).max(1e-9);
+            series.push(ControllerTick {
+                t: now,
+                mpl,
+                queue_len,
+                throughput: *win_count as f64 / span,
+                rt_p50: win_hist.quantile(0.50),
+                rt_p95: win_hist.quantile(0.95),
+                rt_p99: win_hist.quantile(0.99),
+            });
+            *win_hist = LogHistogram::new();
+            *win_count = 0;
+        }
+
         let rc = &self.rc;
         let setup = &self.setup;
-        let mut sim = DbmsSim::new(setup.hw.clone(), setup.cfg.clone(), rc.seed);
+        let mut sim = DbmsSim::with_trace(setup.hw.clone(), setup.cfg.clone(), rc.seed, trace);
         if rc.warm_pool {
             let n = setup.hw.bufferpool_pages.min(setup.workload.db_pages);
             // Zipf favours low page ids, so the first `n` pages are the
@@ -468,6 +549,12 @@ impl Driver {
         let mut ext_wait = Welford::new();
         let mut lock_wait = Welford::new();
         let mut samples = SampleSet::new();
+        let mut rt_hist = LogHistogram::new();
+        // Per-observation-window accumulators for the controller
+        // telemetry series (only touched when `series` is attached).
+        let mut win_hist = LogHistogram::new();
+        let mut win_count: u64 = 0;
+        let mut win_start = 0.0f64;
         let mut aborts_at_meas_start = 0u64;
         // Ping-pong buffer for completions: `drain_completions_into` swaps
         // it with the simulator's accumulation buffer, so the steady-state
@@ -513,6 +600,7 @@ impl Driver {
                             rt_all.push(rt);
                             rt_bm.push(rt);
                             samples.push(rt);
+                            rt_hist.record(rt);
                             ext_wait.push(c.external_wait());
                             lock_wait.push(c.lock_wait);
                             match c.priority {
@@ -522,10 +610,41 @@ impl Driver {
                             meas_end_t = c.completed;
                             if let Some(ctl) = controller.as_mut() {
                                 ctl.observe(c.completed, rt);
+                                if series.is_some() {
+                                    if win_count == 0 {
+                                        win_start = c.completed;
+                                    }
+                                    win_count += 1;
+                                    win_hist.record(rt);
+                                }
                                 match ctl.react(c.completed) {
-                                    Some(Decision::SetMpl(m)) => sched.set_mpl(m),
+                                    Some(Decision::SetMpl(m)) => {
+                                        sched.set_mpl(m);
+                                        if let Some(s) = series.as_deref_mut() {
+                                            close_tick(
+                                                s,
+                                                &mut win_hist,
+                                                &mut win_count,
+                                                win_start,
+                                                c.completed,
+                                                sched.mpl(),
+                                                sched.queue_len() as u64,
+                                            );
+                                        }
+                                    }
                                     Some(Decision::Converged(m)) => {
                                         sched.set_mpl(m);
+                                        if let Some(s) = series.as_deref_mut() {
+                                            close_tick(
+                                                s,
+                                                &mut win_hist,
+                                                &mut win_count,
+                                                win_start,
+                                                c.completed,
+                                                sched.mpl(),
+                                                sched.queue_len() as u64,
+                                            );
+                                        }
                                         break 'outer;
                                     }
                                     None => {}
@@ -558,6 +677,8 @@ impl Driver {
             count_high: rt_hi.count(),
             count_low: rt_lo.count(),
             p95_rt: samples.percentile(0.95),
+            rt_p95: rt_hist.quantile(0.95),
+            rt_p99: rt_hist.quantile(0.99),
             c2_rt: rt_all.c2(),
             rt_bm_half_width: rt_bm.ci(0.95).half_width,
             mean_external_wait: ext_wait.mean(),
@@ -569,7 +690,7 @@ impl Driver {
             },
             metrics,
         };
-        (result, controller)
+        (result, controller, sim.into_trace())
     }
 }
 
@@ -699,5 +820,55 @@ mod tests {
         let b = d.run(5, PolicyKind::Fifo, &d.saturated());
         assert_eq!(a.throughput.to_bits(), b.throughput.to_bits());
         assert_eq!(a.mean_rt.to_bits(), b.mean_rt.to_bits());
+    }
+
+    #[test]
+    fn histogram_percentiles_track_sample_percentile() {
+        let d = quick_driver(1);
+        let r = d.run(5, PolicyKind::Fifo, &d.saturated());
+        // Log-bucket quantization is < 1/32 of a binade, so the histogram
+        // p95 must land within a few percent of the sample-exact one, and
+        // the tail ordering must hold.
+        assert!(r.rt_p95 > 0.0 && r.p95_rt > 0.0);
+        assert!(
+            (r.rt_p95 - r.p95_rt).abs() / r.p95_rt < 0.05,
+            "hist p95 {} vs sample p95 {}",
+            r.rt_p95,
+            r.p95_rt
+        );
+        assert!(r.rt_p99 >= r.rt_p95);
+    }
+
+    #[test]
+    fn tracing_never_changes_run_results() {
+        let d = quick_driver(1);
+        let arr = d.saturated();
+        let plain = d.run(4, PolicyKind::Priority, &arr);
+        let (traced, sink) = d.run_traced(
+            4,
+            PolicyKind::Priority,
+            &arr,
+            xsched_dbms::CountingSink::default(),
+        );
+        assert!(sink.total > 0, "a saturated run must emit trace events");
+        assert_eq!(format!("{plain:?}"), format!("{traced:?}"));
+        assert_eq!(plain.throughput.to_bits(), traced.throughput.to_bits());
+        assert_eq!(plain.rt_p99.to_bits(), traced.rt_p99.to_bits());
+    }
+
+    #[test]
+    fn controller_series_is_deterministic_and_matches_outcome() {
+        let d = quick_driver(1);
+        let (out_a, series_a) = d.run_controller_with_series(Targets::twenty_percent(), None);
+        let (out_b, series_b) = d.run_controller_with_series(Targets::twenty_percent(), None);
+        assert_eq!(series_a.encode_text(), series_b.encode_text());
+        assert!(!series_a.is_empty(), "a converging session emits ticks");
+        // The series must not perturb the session itself.
+        let plain = d.run_controller(Targets::twenty_percent());
+        assert_eq!(format!("{plain:?}"), format!("{out_a:?}"));
+        assert_eq!(format!("{out_a:?}"), format!("{out_b:?}"));
+        // The last tick carries the setpoint the session settled on.
+        let last = series_a.ticks.last().unwrap();
+        assert_eq!(last.mpl, out_a.final_mpl);
     }
 }

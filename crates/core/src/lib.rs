@@ -36,13 +36,18 @@
 //!   inside the executor;
 //! * [`shard`] — [`ShardResult`] and its bit-exact merge/codec, so a
 //!   sweep's flat task grid can be split across processes or hosts and
-//!   reassembled identically to an unsharded run.
+//!   reassembled identically to an unsharded run;
+//! * [`observe`] — [`SweepObs`], the shared observability sink (metrics
+//!   registry, controller telemetry series, embedded timings) behind
+//!   `figures --metrics`; strictly observational, never changes a result
+//!   byte.
 
 pub mod cache;
 pub mod controller;
 pub mod cost;
 pub mod driver;
 pub mod gate;
+pub mod observe;
 pub mod policy;
 pub mod scenario;
 pub mod scheduler;
@@ -54,6 +59,7 @@ pub use controller::{ControllerConfig, Decision, MplController, Reference, Targe
 pub use cost::{CellTiming, CostModel};
 pub use driver::{ControllerOutcome, Driver, PolicyKind, PriorityOutcome, RunConfig, RunResult};
 pub use gate::MplGate;
+pub use observe::SweepObs;
 pub use policy::{Fifo, PriorityFifo, QueuePolicy, QueuedTxn, Sjf, WeightedFair};
 pub use scenario::{ArrivalSpec, ExecSpec, MplSpec, Scenario, ScenarioOutcome};
 pub use scheduler::ExternalScheduler;

@@ -1,0 +1,202 @@
+//! Cross-cutting sweep observability.
+//!
+//! A [`SweepObs`] is the shared sink one `figures` invocation records
+//! into: a [`MetricsRegistry`] of counters, gauges and histograms
+//! (per-worker task counts, cache hits/misses, predicted-vs-actual shard
+//! cost, straggler watermarks) plus every captured controller telemetry
+//! series, keyed by experiment cell. [`SweepObs::snapshot`] renders all
+//! of it as one `xsched-metrics-v1` JSON document that *embeds* the
+//! `xsched-timings-v1` section verbatim, so a single `--metrics` file
+//! also feeds `figures --calibrate`.
+//!
+//! Observability is strictly observational: nothing recorded here feeds
+//! back into scheduling or result values — tables render byte-identically
+//! with or without a `SweepObs` attached (pinned by the golden tests and
+//! the CI on/off byte-diff).
+
+use crate::cost::{encode_timing_cell, CellTiming};
+use std::sync::Mutex;
+use xsched_obs::{ControllerSeries, MetricsRegistry};
+
+/// Shared observability sink for a sweep (or a whole figures run).
+///
+/// Thread-safe by interior locking, so one instance can be handed (via
+/// `Arc`) to every sweep worker. Wall-clock-derived metrics (task
+/// seconds, stragglers) are inherently machine-dependent; the controller
+/// series and everything derived from simulation state are deterministic
+/// in `(scenario, seed)`.
+pub struct SweepObs {
+    registry: MetricsRegistry,
+    series: Mutex<Vec<(String, ControllerSeries)>>,
+}
+
+impl SweepObs {
+    /// An empty sink.
+    pub fn new() -> SweepObs {
+        SweepObs {
+            registry: MetricsRegistry::new(),
+            series: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The metrics registry executors and binaries record into.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Store the telemetry series of one controller session, keyed by its
+    /// experiment-cell label (row/column/seed).
+    pub fn add_controller_series(&self, label: impl Into<String>, series: ControllerSeries) {
+        self.series.lock().unwrap().push((label.into(), series));
+    }
+
+    /// All captured controller series, sorted by cell label so the order
+    /// is independent of worker scheduling.
+    pub fn controller_series(&self) -> Vec<(String, ControllerSeries)> {
+        let mut all = self.series.lock().unwrap().clone();
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        all
+    }
+
+    /// Render registry, per-cell timings, and controller series as one
+    /// JSON document. The `timings` object repeats the
+    /// `xsched-timings-v1` schema tag and cell-line shape exactly, so
+    /// [`crate::cost::decode_timings`] parses the combined file unchanged
+    /// — `--calibrate` accepts either a bare timings dump or a metrics
+    /// snapshot.
+    pub fn snapshot(&self, timings: &[CellTiming]) -> String {
+        let mut out = String::from("{\n    \"schema\": \"xsched-metrics-v1\",\n");
+        out.push_str("    \"metrics\": [\n");
+        let entries = self.registry.encode_entries();
+        for (i, e) in entries.iter().enumerate() {
+            out.push_str("        ");
+            out.push_str(e);
+            if i + 1 < entries.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("    ],\n");
+        out.push_str("    \"timings\": {\n");
+        out.push_str("        \"schema\": \"xsched-timings-v1\",\n");
+        out.push_str("        \"cells\": [\n");
+        for (i, c) in timings.iter().enumerate() {
+            out.push_str("            ");
+            out.push_str(&encode_timing_cell(c));
+            if i + 1 < timings.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("        ]\n    },\n");
+        out.push_str("    \"controller_series\": {\n");
+        let series = self.controller_series();
+        for (i, (label, s)) in series.iter().enumerate() {
+            out.push_str(&format!(
+                "        \"{}\": {}{}\n",
+                json_escape(label),
+                s.encode_json(),
+                if i + 1 < series.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("    }\n}\n");
+        out
+    }
+}
+
+impl Default for SweepObs {
+    fn default() -> Self {
+        SweepObs::new()
+    }
+}
+
+impl std::fmt::Debug for SweepObs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepObs").finish_non_exhaustive()
+    }
+}
+
+/// Minimal JSON string escaping for cell labels (quotes, backslashes,
+/// control characters).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::decode_timings;
+    use xsched_obs::{ControllerSeries, ControllerTick};
+
+    fn sample_obs() -> SweepObs {
+        let obs = SweepObs::new();
+        obs.registry().counter_add("sweep.tasks_done", 9);
+        obs.registry()
+            .gauge_set("sweep.shard0.predicted_units", 120.5);
+        obs.registry().hist_record("sweep.task_secs", 0.25);
+        let mut s = ControllerSeries::with_capacity(2);
+        s.push(ControllerTick {
+            t: 12.0,
+            mpl: 7,
+            queue_len: 30,
+            throughput: 55.0,
+            rt_p50: 0.1,
+            rt_p95: 0.4,
+            rt_p99: 0.9,
+        });
+        obs.add_controller_series("3 [seed 42]", s);
+        obs
+    }
+
+    #[test]
+    fn snapshot_embeds_a_parseable_timings_section() {
+        let cells = vec![
+            CellTiming {
+                bucket: "w/c1d1/run".into(),
+                units: 800.0,
+                secs: 0.5,
+            },
+            CellTiming {
+                bucket: "w/c1d1/controller".into(),
+                units: 4000.0,
+                secs: 2.25,
+            },
+        ];
+        let snap = sample_obs().snapshot(&cells);
+        // The combined document feeds --calibrate directly.
+        let decoded = decode_timings(&snap).unwrap();
+        assert_eq!(decoded, cells);
+        // And carries the metric entries and the controller series.
+        assert!(snap.contains("\"sweep.tasks_done\""), "{snap}");
+        assert!(
+            snap.contains("\"3 [seed 42]\": [{\"t\": 12.000000"),
+            "{snap}"
+        );
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_for_identical_state() {
+        let a = sample_obs().snapshot(&[]);
+        let b = sample_obs().snapshot(&[]);
+        assert_eq!(a, b);
+        // Series order is label-sorted, not insertion-sorted.
+        let obs = SweepObs::new();
+        obs.add_controller_series("b", ControllerSeries::default());
+        obs.add_controller_series("a", ControllerSeries::default());
+        let labels: Vec<String> = obs
+            .controller_series()
+            .into_iter()
+            .map(|(l, _)| l)
+            .collect();
+        assert_eq!(labels, ["a", "b"]);
+    }
+}

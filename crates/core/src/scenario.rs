@@ -15,6 +15,7 @@
 use crate::cache::MeasurementCache;
 use crate::controller::Targets;
 use crate::driver::{ControllerOutcome, Driver, PolicyKind, PriorityOutcome, RunConfig, RunResult};
+use crate::observe::SweepObs;
 use serde::Serialize;
 use std::sync::Arc;
 use xsched_workload::{ArrivalProcess, Setup};
@@ -146,6 +147,20 @@ impl Scenario {
     /// measure each `(setup, run config, seed)` capacity exactly once.
     /// Purity is preserved: cached and uncached runs are bit-identical.
     pub fn run_cached(&self, seed: u64, cache: Option<&Arc<MeasurementCache>>) -> ScenarioOutcome {
+        self.run_observed(seed, cache, None)
+    }
+
+    /// Execute this scenario under `seed`, optionally recording telemetry
+    /// into a shared [`SweepObs`]. With `obs` attached, controller cells
+    /// additionally capture their per-reaction time series (keyed by this
+    /// cell's label and seed). The outcome is bit-identical with or
+    /// without `obs` — observability never changes a result.
+    pub fn run_observed(
+        &self,
+        seed: u64,
+        cache: Option<&Arc<MeasurementCache>>,
+        obs: Option<&SweepObs>,
+    ) -> ScenarioOutcome {
         let rc = RunConfig {
             seed,
             ..self.rc.clone()
@@ -167,9 +182,26 @@ impl Scenario {
             ExecSpec::PriorityAtLoss { loss } => {
                 ScenarioOutcome::Priority(driver.priority_experiment(*loss))
             }
-            ExecSpec::Controller { targets, start } => {
-                ScenarioOutcome::Controller(driver.run_controller_with_start(*targets, *start))
-            }
+            ExecSpec::Controller { targets, start } => match obs {
+                Some(obs) => {
+                    let (out, series) = driver.run_controller_with_series(*targets, *start);
+                    obs.add_controller_series(self.cell_label(seed), series);
+                    ScenarioOutcome::Controller(out)
+                }
+                None => {
+                    ScenarioOutcome::Controller(driver.run_controller_with_start(*targets, *start))
+                }
+            },
+        }
+    }
+
+    /// This cell's label in telemetry documents: row, column (when the
+    /// table has one), and the replication seed.
+    pub fn cell_label(&self, seed: u64) -> String {
+        if self.col.is_empty() {
+            format!("{} [seed {seed}]", self.row)
+        } else {
+            format!("{} / {} [seed {seed}]", self.row, self.col)
         }
     }
 }
@@ -235,6 +267,8 @@ impl ScenarioOutcome {
                 ("log_util", r.metrics.log_utilization()),
                 ("disk_util", r.metrics.disk_utilization()),
                 ("hit_ratio", r.metrics.hit_ratio()),
+                ("rt_p95", r.rt_p95),
+                ("rt_p99", r.rt_p99),
             ],
             ScenarioOutcome::Priority(p) => vec![
                 ("mpl", f64::from(p.mpl)),

@@ -259,7 +259,7 @@ pub fn encode_outcome(outcome: &ScenarioOutcome) -> String {
             };
             let m = &r.metrics;
             format!(
-                "R {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+                "R {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
                 r.mpl,
                 fh(r.throughput),
                 fh(r.mean_rt),
@@ -286,6 +286,8 @@ pub fn encode_outcome(outcome: &ScenarioOutcome) -> String {
                 disks,
                 fh(m.log_busy),
                 fh(m.elapsed),
+                fh(r.rt_p95),
+                fh(r.rt_p99),
             )
         }
         ScenarioOutcome::Priority(p) => format!(
@@ -374,6 +376,11 @@ pub fn decode_outcome(line: &str) -> Result<ScenarioOutcome, String> {
             };
             let log_busy = t.f64()?;
             let elapsed = t.f64()?;
+            // The histogram percentiles travel after the metrics block:
+            // they were appended to the line format, keeping older
+            // offsets stable for eyeballing diffs.
+            let rt_p95 = t.f64()?;
+            let rt_p99 = t.f64()?;
             Ok(ScenarioOutcome::Run(RunResult {
                 mpl,
                 throughput,
@@ -383,6 +390,8 @@ pub fn decode_outcome(line: &str) -> Result<ScenarioOutcome, String> {
                 count_high,
                 count_low,
                 p95_rt,
+                rt_p95,
+                rt_p99,
                 c2_rt,
                 rt_bm_half_width,
                 mean_external_wait,

@@ -12,6 +12,7 @@
 
 use crate::cache::MeasurementCache;
 use crate::cost::CostModel;
+use crate::observe::SweepObs;
 use crate::scenario::{Scenario, ScenarioOutcome};
 use crate::shard::ShardResult;
 use serde::Serialize;
@@ -239,6 +240,8 @@ pub struct SweepExecutor {
     cache: Option<Arc<MeasurementCache>>,
     cost_model: Arc<CostModel>,
     balance: BalanceMode,
+    obs: Option<Arc<SweepObs>>,
+    progress: bool,
 }
 
 impl SweepExecutor {
@@ -249,6 +252,8 @@ impl SweepExecutor {
             cache: None,
             cost_model: Arc::new(CostModel::structural()),
             balance: BalanceMode::Stride,
+            obs: None,
+            progress: false,
         }
     }
 
@@ -287,6 +292,22 @@ impl SweepExecutor {
     /// (default: static striding).
     pub fn with_balance(mut self, balance: BalanceMode) -> SweepExecutor {
         self.balance = balance;
+        self
+    }
+
+    /// Record execution telemetry (task counts per worker, cache
+    /// hits/misses, predicted-vs-actual shard cost, per-task seconds,
+    /// controller series) into a shared [`SweepObs`]. Observational
+    /// only: result bytes never change.
+    pub fn with_obs(mut self, obs: Arc<SweepObs>) -> SweepExecutor {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Print a per-task completion ticker to stderr while the sweep runs
+    /// (stdout — the tables — is untouched).
+    pub fn with_progress(mut self, progress: bool) -> SweepExecutor {
+        self.progress = progress;
         self
     }
 
@@ -349,31 +370,72 @@ impl SweepExecutor {
         let slots: Vec<Mutex<Option<(ScenarioOutcome, f64)>>> =
             mine.iter().map(|_| Mutex::new(None)).collect();
 
-        let run_task = |pos: usize| {
+        let obs = self.obs.as_deref();
+        let hits_before = cache.hits();
+        let misses_before = cache.misses();
+        let total = mine.len();
+        let done = AtomicUsize::new(0);
+        let run_task = |pos: usize, worker: usize| {
             let (si, seed) = tasks[mine[pos]];
             let started = Instant::now();
-            let outcome = plan.scenarios[si].run_cached(seed, Some(&cache));
-            *slots[pos].lock().unwrap() = Some((outcome, started.elapsed().as_secs_f64()));
+            let outcome = plan.scenarios[si].run_observed(seed, Some(&cache), obs);
+            let secs = started.elapsed().as_secs_f64();
+            *slots[pos].lock().unwrap() = Some((outcome, secs));
+            let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+            if let Some(obs) = obs {
+                let r = obs.registry();
+                r.counter_add("sweep.tasks_done", 1);
+                r.counter_add(&format!("sweep.worker{worker}.tasks"), 1);
+                r.hist_record("sweep.task_secs", secs);
+                r.gauge_max("sweep.task_max_secs", secs);
+            }
+            if self.progress {
+                eprintln!(
+                    "[sweep] shard {index}/{of}: {finished}/{total} tasks done \
+                     (last {secs:.2}s on worker {worker})"
+                );
+            }
         };
 
         if self.threads <= 1 || mine.len() <= 1 {
             for pos in 0..mine.len() {
-                run_task(pos);
+                run_task(pos, 0);
             }
         } else {
             let next = AtomicUsize::new(0);
             let workers = self.threads.min(mine.len());
             std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
+                for w in 0..workers {
+                    let next = &next;
+                    let claim = &claim;
+                    let run_task = &run_task;
+                    scope.spawn(move || loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(&pos) = claim.get(i) else {
                             break;
                         };
-                        run_task(pos);
+                        run_task(pos, w);
                     });
                 }
             });
+        }
+
+        if let Some(obs) = obs {
+            let r = obs.registry();
+            r.counter_add("sweep.cache_hits", cache.hits() - hits_before);
+            r.counter_add("sweep.cache_misses", cache.misses() - misses_before);
+            // Predicted structural cost vs measured seconds, cumulative
+            // per shard index across the invocation's sweeps — the
+            // calibration drift signal at a glance.
+            r.gauge_add(
+                &format!("sweep.shard{index}.predicted_units"),
+                cost.iter().sum(),
+            );
+            let actual: f64 = slots
+                .iter()
+                .map(|s| s.lock().unwrap().as_ref().map_or(0.0, |(_, secs)| *secs))
+                .sum();
+            r.gauge_add(&format!("sweep.shard{index}.actual_secs"), actual);
         }
 
         let mut entries = Vec::with_capacity(mine.len());
@@ -638,6 +700,51 @@ mod tests {
                 assert_eq!(encode_outcome(a), encode_outcome(b));
             }
         }
+    }
+
+    /// Attaching a [`SweepObs`] must not change a result byte, and the
+    /// execution telemetry it records must add up: every task counted
+    /// and timed, cache traffic attributed, controller cells leaving a
+    /// telemetry series keyed by their label.
+    #[test]
+    fn observed_sweep_is_bit_identical_and_accounts_for_every_task() {
+        use crate::controller::Targets;
+        let mut plan = quick_plan();
+        plan.scenarios.push(Scenario {
+            row: "ctl".into(),
+            col: String::new(),
+            setup: setup(1),
+            exec: ExecSpec::Controller {
+                targets: Targets::twenty_percent(),
+                start: None,
+            },
+            rc: RunConfig::quick(),
+        });
+        let plain = SweepExecutor::parallel(4).run(&plan);
+        let obs = Arc::new(SweepObs::new());
+        let observed = SweepExecutor::parallel(4)
+            .with_obs(Arc::clone(&obs))
+            .run(&plan);
+        for (a, b) in plain.iter().zip(&observed) {
+            for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+                assert_eq!(encode_outcome(x), encode_outcome(y));
+            }
+        }
+        let r = obs.registry();
+        assert_eq!(r.counter("sweep.tasks_done"), plan.task_count() as u64);
+        let per_worker: u64 = (0..64)
+            .map(|w| r.counter(&format!("sweep.worker{w}.tasks")))
+            .sum();
+        assert_eq!(per_worker, plan.task_count() as u64);
+        let hist = r.hist("sweep.task_secs").expect("every task timed");
+        assert_eq!(hist.count(), plan.task_count() as u64);
+        assert!(r.gauge("sweep.shard0.actual_secs").unwrap_or(0.0) > 0.0);
+        // One series per controller cell × seed, labeled by the cell.
+        let series = obs.controller_series();
+        assert_eq!(series.len(), plan.seeds.len());
+        assert!(series
+            .iter()
+            .all(|(l, s)| l.starts_with("ctl") && !s.is_empty()));
     }
 
     #[test]

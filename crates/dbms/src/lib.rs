@@ -40,3 +40,4 @@ pub use config::{
 pub use metrics::{Completion, DbmsMetrics};
 pub use sim::{CapacityStats, DbmsSim, StepOutcome};
 pub use txn::{ItemId, LockMode, PageId, Priority, Step, TxnBody, TxnId};
+pub use xsched_obs::{CountingSink, NoopTrace, RingRecorder, TraceEvent, TraceSink};

@@ -30,6 +30,7 @@ use crate::metrics::{Completion, DbmsMetrics};
 use crate::slab::{Slab, SlotRef};
 use crate::txn::{LockMode, PageId, Priority, TxnBody, TxnId};
 use std::collections::VecDeque;
+use xsched_obs::{NoopTrace, TraceEvent, TraceSink};
 use xsched_sim::{EventQueue, FxHashMap, SimRng, SimTime};
 
 /// What a call to [`DbmsSim::step`] processed.
@@ -98,7 +99,14 @@ enum Ev {
 }
 
 /// The simulated DBMS.
-pub struct DbmsSim {
+///
+/// Generic over a [`TraceSink`] observing the transaction life cycle
+/// (admissions, lock waits/grants, aborts, I/O, commits). The default
+/// [`NoopTrace`] sink has an empty `#[inline(always)]` `record`, so the
+/// untraced simulator monomorphizes to exactly the pre-tracing code —
+/// tracing is a zero-cost abstraction when disabled. Sinks are
+/// observational by contract: no sink may change simulation results.
+pub struct DbmsSim<T: TraceSink = NoopTrace> {
     hw: HardwareConfig,
     cfg: DbmsConfig,
     events: EventQueue<Ev>,
@@ -129,6 +137,7 @@ pub struct DbmsSim {
     /// reports raw events/second from this).
     events_processed: u64,
     metrics: DbmsMetrics,
+    trace: T,
 }
 
 /// Capacities of the simulator's reusable hot-loop buffers.
@@ -160,8 +169,20 @@ pub struct CapacityStats {
 
 impl DbmsSim {
     /// A fresh simulator. `seed` controls every stochastic choice
-    /// (I/O service times, restart backoffs).
+    /// (I/O service times, restart backoffs). Tracing is off: the
+    /// [`NoopTrace`] sink compiles every trace call away.
     pub fn new(hw: HardwareConfig, cfg: DbmsConfig, seed: u64) -> DbmsSim {
+        DbmsSim::with_trace(hw, cfg, seed, NoopTrace)
+    }
+}
+
+impl<T: TraceSink> DbmsSim<T> {
+    /// A fresh simulator whose life-cycle events are observed by
+    /// `trace`. Sinks are strictly observational: for any sink the
+    /// simulation results are bit-identical to the untraced build
+    /// (pinned by the `tracing_is_observational` test and the core
+    /// crate's invariance property).
+    pub fn with_trace(hw: HardwareConfig, cfg: DbmsConfig, seed: u64, trace: T) -> DbmsSim<T> {
         let cpu = CpuBank::new(hw.cpus, cfg.cpu_policy);
         let disks = (0..hw.data_disks).map(|_| Disk::new()).collect();
         let pool = BufferPool::new(hw.bufferpool_pages);
@@ -192,7 +213,18 @@ impl DbmsSim {
             rng: SimRng::derive(seed, "dbms"),
             next_id: 0,
             events_processed: 0,
+            trace,
         }
+    }
+
+    /// The attached trace sink.
+    pub fn trace(&self) -> &T {
+        &self.trace
+    }
+
+    /// Consume the simulator and hand back its trace sink.
+    pub fn into_trace(self) -> T {
+        self.trace
     }
 
     /// Current simulated time in seconds.
@@ -235,6 +267,8 @@ impl DbmsSim {
         });
         self.index.insert(id, r);
         self.runnable.push_back(r);
+        self.trace
+            .record(TraceEvent::Admission { txn: id.0, t: now });
         self.pump();
         id
     }
@@ -429,6 +463,10 @@ impl DbmsSim {
             let (_, next) = self.log.complete(now);
             debug_assert!(next.is_none(), "group commit never queues in the disk");
             let mut hardened = std::mem::take(&mut self.log_current);
+            self.trace.record(TraceEvent::GroupCommit {
+                batch: hardened.len() as u32,
+                t: now,
+            });
             // Start one force for everything that accumulated meanwhile.
             if !self.log_batch.is_empty() {
                 self.metrics.group_commits += 1;
@@ -485,6 +523,11 @@ impl DbmsSim {
         }
         let id = st.id;
         self.metrics.timeout_aborts += 1;
+        // The Timeout strategy's lock-timeout abort is its form of
+        // deadlock resolution, so it shares the trace kind.
+        let t = self.now();
+        self.trace
+            .record(TraceEvent::DeadlockAbort { txn: id.0, t });
         self.abort_txn(id);
         self.pump();
     }
@@ -576,6 +619,8 @@ impl DbmsSim {
                             st.block_start = now;
                             st.block_seq += 1;
                             let seq = st.block_seq;
+                            self.trace
+                                .record(TraceEvent::LockWait { txn: txn.0, t: now });
                             self.handle_block(txn, r, item, prio, seq);
                             return;
                         }
@@ -599,6 +644,10 @@ impl DbmsSim {
                     if let Some(delay) = self.disks[disk].submit(now, IoRequest { txn, service }) {
                         self.events.schedule_in(delay, Ev::DiskDone { disk });
                     }
+                    self.trace.record(TraceEvent::DiskIo {
+                        disk: disk as u32,
+                        t: now,
+                    });
                     return;
                 }
             }
@@ -651,6 +700,9 @@ impl DbmsSim {
                 // point the detector finds nothing and the loop ends.)
                 while let Some(victim) = self.locks.find_deadlock_victim(txn) {
                     self.metrics.deadlock_aborts += 1;
+                    let t = self.now();
+                    self.trace
+                        .record(TraceEvent::DeadlockAbort { txn: victim.0, t });
                     self.abort_txn(victim);
                 }
             }
@@ -691,6 +743,8 @@ impl DbmsSim {
                     continue;
                 }
                 self.metrics.pow_aborts += 1;
+                let t = self.now();
+                self.trace.record(TraceEvent::PowPreempt { txn: v.0, t });
                 self.abort_txn(v);
             }
             self.victim_scratch = victims;
@@ -716,6 +770,11 @@ impl DbmsSim {
         for t in &blocked {
             if let Some(victim) = self.locks.find_deadlock_victim(*t) {
                 self.metrics.deadlock_aborts += 1;
+                let now = self.now();
+                self.trace.record(TraceEvent::DeadlockAbort {
+                    txn: victim.0,
+                    t: now,
+                });
                 self.abort_txn(victim);
                 self.pump();
                 return true;
@@ -723,6 +782,11 @@ impl DbmsSim {
         }
         let victim = *blocked.last().expect("nonempty");
         self.metrics.deadlock_aborts += 1;
+        let now = self.now();
+        self.trace.record(TraceEvent::DeadlockAbort {
+            txn: victim.0,
+            t: now,
+        });
         self.abort_txn(victim);
         self.pump();
         true
@@ -774,9 +838,15 @@ impl DbmsSim {
             let r = *self.index.get(&g.txn).expect("grant for unknown txn");
             let st = self.states.get_mut(r).expect("grant for stale slot");
             debug_assert_eq!(st.phase, Phase::AcquiringLock);
-            st.lock_wait += now - st.block_start;
+            let waited = now - st.block_start;
+            st.lock_wait += waited;
             st.lock_acquired = true;
             self.runnable.push_back(r);
+            self.trace.record(TraceEvent::LockGrant {
+                txn: g.txn.0,
+                t: now,
+                waited,
+            });
         }
     }
 
@@ -809,10 +879,15 @@ impl DbmsSim {
                         self.events.schedule_in(delay, Ev::DiskDone { disk });
                     }
                     self.metrics.writebacks += 1;
+                    self.trace.record(TraceEvent::DiskIo {
+                        disk: disk as u32,
+                        t: now,
+                    });
                 }
             }
         }
         self.metrics.commits += 1;
+        self.trace.record(TraceEvent::Commit { txn: txn.0, t: now });
         self.completions.push(Completion {
             txn_type: st.body.txn_type,
             priority: st.body.priority,
@@ -831,7 +906,7 @@ mod tests {
     use crate::config::CpuPolicy;
     use crate::txn::{ItemId, Step};
 
-    fn run_to_idle(sim: &mut DbmsSim) {
+    fn run_to_idle<T: TraceSink>(sim: &mut DbmsSim<T>) {
         while sim.step() != StepOutcome::Idle {}
     }
 
@@ -1387,6 +1462,66 @@ mod tests {
         assert_eq!(buf[0].txn_type, 0);
         s.drain_completions_into(&mut buf);
         assert!(buf.is_empty(), "nothing new since the last drain");
+    }
+
+    /// The contract the whole observability layer rests on: attaching
+    /// any trace sink changes *nothing* about the simulation — same
+    /// completions to the bit, same metrics — and the ring recorder
+    /// never grows past its pre-allocated capacity.
+    #[test]
+    fn tracing_is_observational() {
+        use xsched_obs::{CountingSink, RingRecorder};
+
+        fn run<T: TraceSink>(trace: T) -> (Vec<(u64, u64)>, String, T) {
+            let mut s =
+                DbmsSim::with_trace(HardwareConfig::default(), DbmsConfig::default(), 11, trace);
+            let mut rng = SimRng::derive(11, "wl");
+            for k in 0..60u64 {
+                let body = TxnBody {
+                    txn_type: 0,
+                    priority: if rng.chance(0.1) {
+                        Priority::High
+                    } else {
+                        Priority::Low
+                    },
+                    steps: vec![Step {
+                        lock: Some((ItemId(k % 4), LockMode::Exclusive)),
+                        pages: vec![PageId(rng.index_u64(100))],
+                        cpu: 0.0005 + rng.uniform() * 0.001,
+                    }],
+                };
+                s.submit(body, 0.0);
+            }
+            run_to_idle(&mut s);
+            let m = format!("{:?}", s.metrics());
+            let done = s
+                .drain_completions()
+                .iter()
+                .map(|c| (c.completed.to_bits(), c.lock_wait.to_bits()))
+                .collect();
+            (done, m, s.into_trace())
+        }
+
+        let (base_done, base_metrics, _) = run(NoopTrace);
+        assert_eq!(base_done.len(), 60);
+
+        let (count_done, count_metrics, sink) = run(CountingSink::default());
+        assert_eq!(base_done, count_done, "counting sink altered results");
+        assert_eq!(base_metrics, count_metrics);
+        assert!(sink.total > 0);
+        let commits = sink.by_kind[TraceEvent::Commit { txn: 0, t: 0.0 }.kind()];
+        assert_eq!(commits, 60, "one commit event per completion");
+        let admissions = sink.by_kind[TraceEvent::Admission { txn: 0, t: 0.0 }.kind()];
+        assert_eq!(admissions, 60);
+        let waits = sink.by_kind[TraceEvent::LockWait { txn: 0, t: 0.0 }.kind()];
+        assert!(waits > 0, "contended workload must block sometimes");
+
+        let cap = RingRecorder::new(32).capacity();
+        let (ring_done, ring_metrics, ring) = run(RingRecorder::new(32));
+        assert_eq!(base_done, ring_done, "ring recorder altered results");
+        assert_eq!(base_metrics, ring_metrics);
+        assert_eq!(ring.capacity(), cap, "ring recorder must never grow");
+        assert_eq!(ring.recorded(), sink.total, "sinks see the same stream");
     }
 
     #[test]

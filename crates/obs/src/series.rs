@@ -1,0 +1,151 @@
+//! Controller time-series telemetry.
+//!
+//! One [`ControllerTick`] is recorded per controller reaction (window
+//! close): the moment, the MPL setpoint the decision left in force, the
+//! external queue length, and the closed window's observed throughput
+//! and response-time percentiles. The series is what turns the paper's
+//! final-MPL controller tables into reaction-time/overshoot
+//! measurements — and the encoding is bit-stable: every float carries
+//! its exact IEEE bit pattern next to the human-readable decimal, so a
+//! golden snapshot pins the controller's trajectory to the bit.
+
+/// One controller reaction: setpoint, queue, and window observations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControllerTick {
+    /// Simulation time of the reaction, seconds.
+    pub t: f64,
+    /// MPL setpoint in force after the decision.
+    pub mpl: u32,
+    /// External queue length at the reaction.
+    pub queue_len: u64,
+    /// Observed throughput of the closed window, txns/s.
+    pub throughput: f64,
+    /// Window response-time median, seconds.
+    pub rt_p50: f64,
+    /// Window response-time 95th percentile, seconds.
+    pub rt_p95: f64,
+    /// Window response-time 99th percentile, seconds.
+    pub rt_p99: f64,
+}
+
+/// A pre-sizable series of controller ticks with deterministic text
+/// and JSON encodings.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ControllerSeries {
+    /// Ticks in reaction order.
+    pub ticks: Vec<ControllerTick>,
+}
+
+/// Schema tag of the text encoding.
+pub const CONTROLLER_SERIES_SCHEMA: &str = "xsched-controller-series-v1";
+
+impl ControllerSeries {
+    /// An empty series with room for `cap` ticks — controller sessions
+    /// pre-size this so long runs never grow the buffer tick by tick.
+    pub fn with_capacity(cap: usize) -> ControllerSeries {
+        ControllerSeries {
+            ticks: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Append one tick.
+    pub fn push(&mut self, tick: ControllerTick) {
+        self.ticks.push(tick);
+    }
+
+    /// Number of ticks recorded.
+    pub fn len(&self) -> usize {
+        self.ticks.len()
+    }
+
+    /// True if no tick has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ticks.is_empty()
+    }
+
+    /// Line-oriented text encoding: a schema header, then one line per
+    /// tick with decimals for reading and the exact float bit patterns
+    /// (`t:tput:p50:p95:p99`) for bit-stable comparison.
+    pub fn encode_text(&self) -> String {
+        let mut out = format!("{CONTROLLER_SERIES_SCHEMA} ticks={}\n", self.ticks.len());
+        for (i, k) in self.ticks.iter().enumerate() {
+            out.push_str(&format!(
+                "tick {i} t={:.3} mpl={} queue={} tput={:.3} p50={:.6} p95={:.6} p99={:.6} bits={:016x}:{:016x}:{:016x}:{:016x}:{:016x}\n",
+                k.t,
+                k.mpl,
+                k.queue_len,
+                k.throughput,
+                k.rt_p50,
+                k.rt_p95,
+                k.rt_p99,
+                k.t.to_bits(),
+                k.throughput.to_bits(),
+                k.rt_p50.to_bits(),
+                k.rt_p95.to_bits(),
+                k.rt_p99.to_bits(),
+            ));
+        }
+        out
+    }
+
+    /// The series as one inline JSON array of tick objects, for
+    /// embedding in the metrics snapshot document.
+    pub fn encode_json(&self) -> String {
+        let ticks: Vec<String> = self
+            .ticks
+            .iter()
+            .map(|k| {
+                format!(
+                    "{{\"t\": {:.6}, \"mpl\": {}, \"queue\": {}, \"tput\": {:.6}, \"rt_p50\": {:.9}, \"rt_p95\": {:.9}, \"rt_p99\": {:.9}}}",
+                    k.t, k.mpl, k.queue_len, k.throughput, k.rt_p50, k.rt_p95, k.rt_p99
+                )
+            })
+            .collect();
+        format!("[{}]", ticks.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tick(i: u32) -> ControllerTick {
+        ControllerTick {
+            t: f64::from(i) * 1.5,
+            mpl: 10 + i,
+            queue_len: u64::from(i) * 3,
+            throughput: 100.0 + f64::from(i),
+            rt_p50: 0.01,
+            rt_p95: 0.05,
+            rt_p99: 0.09,
+        }
+    }
+
+    #[test]
+    fn text_encoding_is_bit_stable_and_versioned() {
+        let mut s = ControllerSeries::with_capacity(4);
+        s.push(tick(0));
+        s.push(tick(1));
+        let a = s.encode_text();
+        let b = s.clone().encode_text();
+        assert_eq!(a, b);
+        assert!(
+            a.starts_with("xsched-controller-series-v1 ticks=2\n"),
+            "{a}"
+        );
+        assert!(a.contains(&format!("{:016x}", 1.5f64.to_bits())), "{a}");
+        assert_eq!(a.lines().count(), 3);
+    }
+
+    #[test]
+    fn json_encoding_is_an_inline_array() {
+        let mut s = ControllerSeries::default();
+        assert_eq!(s.encode_json(), "[]");
+        s.push(tick(2));
+        let j = s.encode_json();
+        assert!(j.starts_with("[{\"t\": 3.000000, \"mpl\": 12"), "{j}");
+        assert!(j.ends_with("}]"), "{j}");
+        assert!(!s.is_empty());
+        assert_eq!(s.len(), 1);
+    }
+}

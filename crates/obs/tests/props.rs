@@ -1,0 +1,151 @@
+//! Determinism properties of the observability layer.
+//!
+//! The contracts the rest of the workspace builds on: identical metric
+//! state renders byte-identical snapshots, histogram merging is
+//! associative and order-independent, and the histogram quantile is
+//! accurate enough to bracket analytic percentiles (M/M/1).
+
+use proptest::prelude::*;
+use xsched_obs::{LogHistogram, MetricsRegistry};
+use xsched_sim::SimRng;
+
+/// Positive sample values spanning many binades.
+fn sample(raw: f64) -> f64 {
+    // Map (-1e3, 1e3) into a positive, wide-dynamic-range sample while
+    // keeping a few degenerate zeros in the mix.
+    if raw.abs() < 1.0 {
+        0.0
+    } else {
+        raw.abs().powi(3) * 1e-6
+    }
+}
+
+proptest! {
+    /// Splitting a sample stream into arbitrary chunks and merging the
+    /// per-chunk histograms in any of several orders always reproduces
+    /// the histogram of the whole stream, state- and byte-identically.
+    #[test]
+    fn histogram_merge_is_associative_and_order_independent(
+        raws in proptest::collection::vec(-1e3f64..1e3, 1..200),
+        cuts in proptest::collection::vec(0u64..200, 0..4),
+    ) {
+        let vals: Vec<f64> = raws.iter().map(|&r| sample(r)).collect();
+        let mut whole = LogHistogram::new();
+        for &v in &vals {
+            whole.record(v);
+        }
+
+        // Chunk boundaries from the random cuts.
+        let mut bounds: Vec<usize> =
+            cuts.iter().map(|&c| c as usize % vals.len()).collect();
+        bounds.push(0);
+        bounds.push(vals.len());
+        bounds.sort_unstable();
+        let mut parts: Vec<LogHistogram> = Vec::new();
+        for w in bounds.windows(2) {
+            let mut h = LogHistogram::new();
+            for &v in &vals[w[0]..w[1]] {
+                h.record(v);
+            }
+            parts.push(h);
+        }
+
+        // Forward fold, reverse fold, and a right-associated fold must
+        // all equal the whole-stream histogram.
+        let fold = |hs: &[LogHistogram]| {
+            let mut acc = LogHistogram::new();
+            for h in hs {
+                acc.merge(h);
+            }
+            acc
+        };
+        let fwd = fold(&parts);
+        let rev: Vec<LogHistogram> = parts.iter().rev().cloned().collect();
+        let bwd = fold(&rev);
+        let mut right = LogHistogram::new();
+        for h in parts.iter().rev() {
+            let mut step = h.clone();
+            step.merge(&right);
+            right = step;
+        }
+        prop_assert_eq!(&fwd, &whole);
+        prop_assert_eq!(&bwd, &whole);
+        prop_assert_eq!(&right, &whole);
+        prop_assert_eq!(fwd.encode_buckets(), whole.encode_buckets());
+        prop_assert_eq!(
+            fwd.quantile(0.95).to_bits(),
+            whole.quantile(0.95).to_bits()
+        );
+    }
+
+    /// Feeding the same updates to two registries — in different
+    /// orders across distinct metric names — renders byte-identical
+    /// snapshots.
+    #[test]
+    fn registry_snapshots_are_byte_identical_for_identical_state(
+        counts in proptest::collection::vec(0u64..1000, 1..8),
+        gauges in proptest::collection::vec(-1e3f64..1e3, 1..8),
+    ) {
+        type RegistryOp = Box<dyn Fn(&MetricsRegistry)>;
+        let build = |reverse: bool| {
+            let r = MetricsRegistry::new();
+            let mut ops: Vec<RegistryOp> = Vec::new();
+            for (i, &c) in counts.iter().enumerate() {
+                ops.push(Box::new(move |r: &MetricsRegistry| {
+                    r.counter_add(&format!("counter_{i}"), c);
+                }));
+            }
+            for (i, &g) in gauges.iter().enumerate() {
+                ops.push(Box::new(move |r: &MetricsRegistry| {
+                    r.gauge_set(&format!("gauge_{i}"), g);
+                    r.hist_record(&format!("hist_{i}"), sample(g));
+                }));
+            }
+            if reverse {
+                for op in ops.iter().rev() {
+                    op(&r);
+                }
+            } else {
+                for op in &ops {
+                    op(&r);
+                }
+            }
+            r.snapshot()
+        };
+        prop_assert_eq!(build(false), build(true));
+    }
+}
+
+/// M/M/1 sanity: response times of an M/M/1 queue are exponential with
+/// rate `μ − λ`, so the analytic 95th percentile is
+/// `−ln(0.05)/(μ−λ)`. The histogram's p95 over simulated waits must
+/// bracket it within quantization + sampling error.
+#[test]
+fn histogram_p95_brackets_mm1_analytic_percentile() {
+    let (lambda, mu) = (0.8f64, 1.0f64);
+    let mut rng = SimRng::derive(42, "mm1-p95");
+    let mut h = LogHistogram::new();
+    let mut w = 0.0f64; // Lindley recursion on waiting time
+    for _ in 0..400_000 {
+        let s = rng.exp(1.0 / mu);
+        let a = rng.exp(1.0 / lambda);
+        let response = w + s;
+        h.record(response);
+        w = (w + s - a).max(0.0);
+    }
+    let analytic_p95 = -(0.05f64.ln()) / (mu - lambda);
+    let measured = h.quantile(0.95);
+    let rel = (measured - analytic_p95).abs() / analytic_p95;
+    assert!(
+        rel < 0.10,
+        "histogram p95 {measured:.4} vs analytic {analytic_p95:.4} (rel {rel:.4})"
+    );
+    // p99 keeps the ordering and also lands near its analytic value.
+    let analytic_p99 = -(0.01f64.ln()) / (mu - lambda);
+    let p99 = h.quantile(0.99);
+    assert!(p99 > measured);
+    assert!(
+        (p99 - analytic_p99).abs() / analytic_p99 < 0.10,
+        "p99 {p99:.4}"
+    );
+}
