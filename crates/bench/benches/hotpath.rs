@@ -11,13 +11,19 @@
 //! ```
 //!
 //! The JSON carries one entry per figure (mean/min wall seconds per full
-//! sweep), an `events` block with the raw event-loop rate, a `cells`
-//! array with per-cell wall-clock over the heterogeneous fig2 + rt_open
-//! grid, and a `shard_balance` block comparing static striding against
-//! cost-balanced (LPT) slicing on that grid: per-shard wall-clock and the
-//! max/min imbalance ratio for both modes. Figures run through the same
-//! `SweepOpts`/`SweepExecutor` path the `figures` binary uses, so these
-//! numbers track exactly what an operator waits on.
+//! sweep), an `events` block with the raw event-loop rate, a `dispatch`
+//! block with the batched-dispatch ceiling (pop_run_into + arena
+//! handles, no DBMS model), a `saturation_grid` block streaming a
+//! 120-cell open-load grid through `run_fold` with its peak-RSS
+//! high-water mark, a `queue` array with heap-only push/pop rates at 1M
+//! and 10M pending events, a `cells` array with per-cell wall-clock over
+//! the heterogeneous fig2 + rt_open grid (capacity seconds split into
+//! `ref/` buckets), and a `shard_balance` block comparing static
+//! striding against cost-balanced (LPT) slicing on that grid: per-shard
+//! wall-clock and the max/min imbalance ratio for both modes. Figures
+//! run through the same `SweepOpts`/`SweepExecutor` path the `figures`
+//! binary uses, so these numbers track exactly what an operator waits
+//! on.
 
 use criterion::{black_box, Criterion};
 use std::io::Write as _;
@@ -28,8 +34,12 @@ use xsched_bench::{
     SweepOpts,
 };
 use xsched_core::cost::encode_timing_cell;
-use xsched_core::{BalanceMode, CellTiming, CostModel, SweepExecutor, SweepPlan};
+use xsched_core::{
+    ArrivalSpec, BalanceMode, CellTiming, CostModel, ExecSpec, MeasurementCache, MplSpec,
+    PolicyKind, RunConfig, Scenario, ScenarioOutcome, SweepExecutor, SweepPlan,
+};
 use xsched_dbms::{CountingSink, DbmsSim, NoopTrace, StepOutcome, TraceSink};
+use xsched_sim::{EventQueue, SimTime};
 use xsched_workload::{setup, TxnGen};
 
 /// Raw event-loop rate: a saturated closed system on setup 1 driven
@@ -62,6 +72,175 @@ fn measure_events_per_sec<T: TraceSink>(trace: T) -> (u64, f64, T) {
     }
     let events = sim.events_processed();
     (events, t0.elapsed().as_secs_f64(), sim.into_trace())
+}
+
+/// One arena slot of the batched-dispatch loop: the payload lives here,
+/// the heap carries only a `u32` handle — the layout the DBMS simulator's
+/// event arena uses, reduced to its essentials.
+struct Slot {
+    kind: u32,
+    data: u64,
+}
+
+/// Raw batched-dispatch ceiling: an `EventQueue<u32>` over an arena of
+/// `RESIDENT` payload slots, timestamps quantized to a tick grid so
+/// maximal same-time runs drain through [`EventQueue::pop_run_into`] and
+/// dispatch through one tight match loop. This is the upper bound the
+/// batching + arena redesign buys before any DBMS model cost — the
+/// number the "events barrier" CI gate tracks alongside the full
+/// simulator rate. Returns `(events, wall seconds, runs drained)`.
+fn measure_batched_dispatch() -> (u64, f64, u64) {
+    const TARGET_EVENTS: u64 = 10_000_000;
+    const RESIDENT: usize = 256;
+    const TICK: u64 = 1_000; // nanos between adjacent grid points
+    const LCG_MUL: u64 = 6364136223846793005;
+    const LCG_ADD: u64 = 1442695040888963407;
+
+    let mut q: EventQueue<u32> = EventQueue::with_capacity(RESIDENT + 8);
+    let mut arena: Vec<Slot> = Vec::with_capacity(RESIDENT);
+    let mut state: u64 = 0x9e3779b97f4a7c15;
+    for i in 0..RESIDENT {
+        state = state.wrapping_mul(LCG_MUL).wrapping_add(LCG_ADD);
+        arena.push(Slot {
+            kind: (state >> 60) as u32 & 3,
+            data: state,
+        });
+        q.schedule(
+            SimTime::from_nanos(TICK * (1 + (state >> 32) % 4)),
+            i as u32,
+        );
+    }
+    let mut batch: Vec<u32> = Vec::with_capacity(RESIDENT);
+    let mut processed: u64 = 0;
+    let mut runs: u64 = 0;
+    let mut checksum: u64 = 0;
+    let t0 = Instant::now();
+    while processed < TARGET_EVENTS {
+        let Some(now) = q.pop_run_into(&mut batch) else {
+            unreachable!("every dispatched event reschedules its slot");
+        };
+        let base = now.as_nanos();
+        for &h in &batch {
+            let p = &mut arena[h as usize];
+            checksum = checksum.wrapping_add(match p.kind {
+                0 => p.data,
+                1 => p.data.rotate_left(7),
+                2 => p.data ^ base,
+                _ => p.data.wrapping_mul(3),
+            });
+            // Reschedule in place: same handle, successor payload, 1–4
+            // ticks out — the grid keeps same-time runs long.
+            p.data = p.data.wrapping_mul(LCG_MUL).wrapping_add(LCG_ADD);
+            p.kind = (p.data >> 60) as u32 & 3;
+            q.schedule(
+                SimTime::from_nanos(base + TICK * (1 + (p.data >> 32) % 4)),
+                h,
+            );
+        }
+        processed += batch.len() as u64;
+        runs += 1;
+    }
+    black_box(checksum);
+    (processed, t0.elapsed().as_secs_f64(), runs)
+}
+
+/// Heap-only push/pop rates at a given resident population: fill the
+/// queue with `pending` events at pseudo-random future timestamps, then
+/// drain it dry. Isolates the 4-ary heap from everything else — at 10M
+/// pending this resident set (~240 MB) dwarfs any cache level, so run it
+/// *after* the RSS ceiling has been read.
+fn measure_queue(pending: u64) -> (f64, f64) {
+    let mut q: EventQueue<u32> = EventQueue::with_capacity(pending as usize);
+    let mut state: u64 = 0x243f6a8885a308d3;
+    let t0 = Instant::now();
+    for i in 0..pending {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        q.schedule(SimTime::from_nanos(1 + (state >> 16)), i as u32);
+    }
+    let push_secs = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let mut drained: u64 = 0;
+    while let Some((_, e)) = q.pop() {
+        black_box(e);
+        drained += 1;
+    }
+    let pop_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(drained, pending);
+    (
+        pending as f64 / push_secs.max(1e-9),
+        pending as f64 / pop_secs.max(1e-9),
+    )
+}
+
+/// Peak resident set of this process so far, from `/proc/self/status`
+/// `VmHWM` (Linux only; `None` elsewhere keeps the bench portable).
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line
+        .trim_start_matches("VmHWM:")
+        .trim()
+        .trim_end_matches("kB")
+        .trim()
+        .parse()
+        .ok()?;
+    Some(kb * 1024)
+}
+
+/// The 100×-scale streaming case: a saturation grid of open-load cells
+/// spanning offered loads from 5% to 124% of capacity, folded through
+/// [`SweepExecutor::run_fold`] so memory stays O(cells in flight) instead
+/// of O(grid). The fold keeps only scalar aggregates; `peak_parked` is
+/// the largest out-of-order window the streaming consumer ever held.
+struct GridStats {
+    cells: usize,
+    wall_secs: f64,
+    peak_parked: usize,
+    max_mean_rt: f64,
+    total_commits: u64,
+}
+
+fn measure_saturation_grid() -> GridStats {
+    const LOADS: usize = 120;
+    let rc = RunConfig {
+        warmup_txns: 10,
+        measured_txns: 60,
+        ..Default::default()
+    };
+    let scenarios: Vec<Scenario> = (0..LOADS)
+        .map(|i| {
+            let load = 0.05 + i as f64 * 0.01;
+            Scenario {
+                row: "saturation".to_string(),
+                col: format!("load {load:.2}"),
+                setup: setup(1),
+                exec: ExecSpec::Run {
+                    mpl: MplSpec::Fixed(8),
+                    policy: PolicyKind::Fifo,
+                    arrivals: ArrivalSpec::OpenLoad(load),
+                },
+                rc: rc.clone(),
+            }
+        })
+        .collect();
+    let plan = SweepPlan::new(scenarios);
+    let executor = SweepExecutor::parallel(0).with_cache(MeasurementCache::shared());
+    let t0 = Instant::now();
+    let (acc, stats) = executor.run_fold(&plan, (0usize, 0.0f64, 0u64), |acc, _, outcome| {
+        let ScenarioOutcome::Run(r) = outcome else {
+            unreachable!("the grid is all plain runs");
+        };
+        (acc.0 + 1, acc.1.max(r.mean_rt), acc.2 + r.metrics.commits)
+    });
+    GridStats {
+        cells: acc.0,
+        wall_secs: t0.elapsed().as_secs_f64(),
+        peak_parked: stats.peak_parked,
+        max_mean_rt: acc.1,
+        total_commits: acc.2,
+    }
 }
 
 fn figure_benches(c: &mut Criterion) {
@@ -97,13 +276,15 @@ fn measure_shards(
         let t0 = Instant::now();
         let shard = executor.run_shard(plan, index, of);
         walls.push(t0.elapsed().as_secs_f64());
+        // Reference (capacity) seconds split into their own `ref/` cells
+        // — open-load cells that paid for a capacity run would otherwise
+        // pollute the per-bucket averages the calibrated model fits.
+        let refs: std::collections::HashMap<usize, f64> =
+            shard.ref_timings.iter().copied().collect();
         for &(t, secs) in &shard.timings {
             let scenario = &plan.scenarios[tasks[t].0];
-            cells.push(CellTiming {
-                bucket: CostModel::bucket(scenario),
-                units: CostModel::units(scenario),
-                secs,
-            });
+            let ref_secs = refs.get(&t).copied().unwrap_or(0.0);
+            cells.extend(CostModel::timing_cells(scenario, secs, ref_secs));
         }
     }
     (walls, cells)
@@ -153,6 +334,31 @@ fn main() {
         "raw_sim/events_traced", traced_events_per_sec, sink.total
     );
 
+    // The batched-dispatch ceiling: pop_run_into + arena handles + one
+    // match loop, no DBMS model — what the hot-path redesign buys at the
+    // dispatch layer itself.
+    let (disp_events, disp_wall, disp_runs) = measure_batched_dispatch();
+    let disp_rate = disp_events as f64 / disp_wall;
+    let disp_run_len = disp_events as f64 / disp_runs as f64;
+    println!(
+        "{:<40} {disp_events} events in {disp_wall:.3} s  ({disp_rate:.0} events/s, mean run {disp_run_len:.1})",
+        "raw_sim/batched_dispatch"
+    );
+
+    // The streaming saturation grid, then its memory high-water mark —
+    // read *before* the queue micro-benches allocate their 10M-event
+    // resident set, so the ceiling reflects the streaming executor.
+    let grid = measure_saturation_grid();
+    let grid_rss = peak_rss_bytes();
+    println!(
+        "{:<40} {} cells in {:.2} s  (peak parked {}, peak RSS {} MB)",
+        "saturation_grid/stream",
+        grid.cells,
+        grid.wall_secs,
+        grid.peak_parked,
+        grid_rss.map_or(0, |b| b >> 20),
+    );
+
     // Shard-balance experiment on the heterogeneous fig2 + rt_open quick
     // grid (browsing cells run 5× the transactions of inventory cells;
     // open-load cells pay a capacity run): static striding vs
@@ -175,6 +381,21 @@ fn main() {
         plan.task_count(),
     );
 
+    // Heap-only push/pop rates, last: the 10M-pending resident set
+    // (~240 MB) must not pollute the saturation grid's RSS ceiling.
+    let queue_sizes: [u64; 2] = [1_000_000, 10_000_000];
+    let queue_rates: Vec<(u64, f64, f64)> = queue_sizes
+        .iter()
+        .map(|&n| {
+            let (push, pop) = measure_queue(n);
+            println!(
+                "{:<40} {n} pending: push {push:.0}/s  pop {pop:.0}/s",
+                "event_queue/push_pop"
+            );
+            (n, push, pop)
+        })
+        .collect();
+
     let mut json = String::new();
     json.push_str("{\n  \"schema\": \"xsched-hotpath-v2\",\n  \"figures\": [\n");
     let records = c.records();
@@ -193,6 +414,29 @@ fn main() {
         "  \"events\": {{\"count\": {events}, \"wall_secs\": {wall:.6}, \"events_per_sec\": {events_per_sec:.1}, \"traced_events_per_sec\": {traced_events_per_sec:.1}, \"trace_records\": {}}},\n",
         sink.total
     ));
+    // NOTE: the CI gate greps the *first* "events_per_sec" in this file —
+    // the full-simulator rate above. The dispatch block deliberately
+    // names its rate differently.
+    json.push_str(&format!(
+        "  \"dispatch\": {{\"count\": {disp_events}, \"wall_secs\": {disp_wall:.6}, \"dispatch_events_per_sec\": {disp_rate:.1}, \"mean_run_len\": {disp_run_len:.2}}},\n",
+    ));
+    json.push_str(&format!(
+        "  \"saturation_grid\": {{\"cells\": {}, \"wall_secs\": {:.6}, \"peak_parked\": {}, \"peak_rss_bytes\": {}, \"max_mean_rt\": {:.6}, \"total_commits\": {}}},\n",
+        grid.cells,
+        grid.wall_secs,
+        grid.peak_parked,
+        grid_rss.map_or(0, |b| b),
+        grid.max_mean_rt,
+        grid.total_commits,
+    ));
+    json.push_str("  \"queue\": [\n");
+    for (i, (n, push, pop)) in queue_rates.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"pending\": {n}, \"push_per_sec\": {push:.1}, \"pop_per_sec\": {pop:.1}}}{}\n",
+            if i + 1 < queue_rates.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str(&format!(
         "  \"shard_balance\": {{\n    \"shards\": {SHARDS},\n    \"tasks\": {},\n    \"stride\": {},\n    \"cost\": {},\n    \"improvement\": {:.4}\n  }},\n",
         plan.task_count(),

@@ -141,6 +141,7 @@ fn main() {
         timings: timings_sink.clone(),
         obs: obs.clone(),
         progress: args.progress,
+        subruns: args.subruns,
     };
     let rc = if args.quick { quick_rc() } else { full_rc() };
     // Controller sessions and MPL searches run many inner sims per

@@ -85,6 +85,12 @@ pub struct FiguresArgs {
     pub metrics_out: Option<String>,
     /// Print a per-task progress ticker to stderr while sweeps run.
     pub progress: bool,
+    /// Split each splittable cell's measurement into this many
+    /// independently-seeded sub-runs combined by batch means (`0` or `1`
+    /// = off, the golden-pinned default). Changes result values (they
+    /// become replication means), so every shard of one sweep — and its
+    /// merge — must use the same value.
+    pub subruns: u32,
     /// Calibrate the cost model from a previously dumped timings file.
     pub calibrate: Option<String>,
     /// Shard payload files to merge instead of simulating.
@@ -138,6 +144,17 @@ OPTIONS:
                              timings schema, so --calibrate accepts it
         --progress           print a per-task completion ticker to stderr
                              while sweeps run (stdout stays table-only)
+        --subruns K          split each fixed-MPL cell's measurement into
+                             K independently-seeded sub-runs executed in
+                             parallel and combined by batch means —
+                             intra-cell parallelism for long cells. Cell
+                             values become K-replication means, so tables
+                             differ from an unsplit run (CIs shrink);
+                             every shard of one sweep and its merge must
+                             use the same K [default: off]
+        --no-subruns         force unsplit cells (the default; provided as
+                             an explicit escape hatch and conflicting
+                             with --subruns)
         --calibrate FILE     calibrate the cost model from a --timings
                              or --metrics dump of a previous run
                              (otherwise a structural model predicts from
@@ -208,6 +225,8 @@ fn parse_u64_list(flag: &str, v: &str) -> Result<Vec<u64>, ArgError> {
 pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<FiguresArgs, ArgError> {
     let mut out = FiguresArgs::default();
     let mut replications: Option<usize> = None;
+    let mut subruns: Option<u32> = None;
+    let mut no_subruns = false;
     let mut it = args.iter().map(AsRef::as_ref);
     while let Some(arg) = it.next() {
         let mut value_for = |flag: &str| {
@@ -249,6 +268,23 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<FiguresArgs, ArgError> {
             "--timings" => out.timings_out = Some(value_for(arg)?),
             "--metrics" => out.metrics_out = Some(value_for(arg)?),
             "--progress" => out.progress = true,
+            "--subruns" => {
+                let v = value_for(arg)?;
+                let n: u32 = v.parse().map_err(|_| ArgError::InvalidValue {
+                    flag: arg.to_string(),
+                    value: v.clone(),
+                    want: "a sub-run count ≥ 2",
+                })?;
+                if n < 2 {
+                    return Err(ArgError::InvalidValue {
+                        flag: arg.to_string(),
+                        value: v,
+                        want: "a sub-run count ≥ 2",
+                    });
+                }
+                subruns = Some(n);
+            }
+            "--no-subruns" => no_subruns = true,
             "--calibrate" => out.calibrate = Some(value_for(arg)?),
             "--merge" => out
                 .merge
@@ -268,6 +304,12 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<FiguresArgs, ArgError> {
             "--shard and --merge are mutually exclusive",
         ));
     }
+    if subruns.is_some() && no_subruns {
+        return Err(ArgError::Conflict(
+            "--subruns and --no-subruns are mutually exclusive",
+        ));
+    }
+    out.subruns = subruns.unwrap_or(0);
     Ok(out)
 }
 
@@ -410,6 +452,27 @@ mod tests {
         assert_eq!(
             parse_args(&["--metrics"]).unwrap_err(),
             ArgError::MissingValue("--metrics".into())
+        );
+    }
+
+    #[test]
+    fn subruns_parse_and_conflict() {
+        // Off by default, and --no-subruns keeps it off explicitly.
+        assert_eq!(parse_args::<&str>(&[]).unwrap().subruns, 0);
+        assert_eq!(parse_args(&["--no-subruns"]).unwrap().subruns, 0);
+        assert_eq!(parse_args(&["--subruns", "4"]).unwrap().subruns, 4);
+        for bad in ["0", "1", "x", "-2"] {
+            assert!(
+                matches!(
+                    parse_args(&["--subruns", bad]).unwrap_err(),
+                    ArgError::InvalidValue { .. }
+                ),
+                "`{bad}`"
+            );
+        }
+        assert_eq!(
+            parse_args(&["--subruns", "4", "--no-subruns"]).unwrap_err(),
+            ArgError::Conflict("--subruns and --no-subruns are mutually exclusive")
         );
     }
 

@@ -130,11 +130,21 @@ pub struct SweepOpts {
     pub obs: Option<Arc<SweepObs>>,
     /// Print a per-task completion ticker to stderr while sweeps run.
     pub progress: bool,
+    /// Split each splittable cell into this many independently-seeded
+    /// sub-runs on the worker pool (`0`/`1` = run cells whole — the
+    /// default, whose output bytes the goldens pin). Participates in the
+    /// plan fingerprint, so shards and merges must agree on it.
+    pub subruns: u32,
 }
 
 impl SweepOpts {
     /// Execute `scenarios` under these options.
-    pub fn run(&self, scenarios: Vec<Scenario>) -> Vec<ScenarioResult> {
+    pub fn run(&self, mut scenarios: Vec<Scenario>) -> Vec<ScenarioResult> {
+        if self.subruns >= 2 {
+            for s in &mut scenarios {
+                s.rc.subruns = self.subruns;
+            }
+        }
         let plan = SweepPlan::new(scenarios).with_seeds(self.seeds.clone());
         let mut executor = SweepExecutor::parallel(self.threads)
             .with_balance(self.balance)
@@ -180,14 +190,16 @@ impl SweepOpts {
     fn record_timings(&self, plan: &SweepPlan, shard: &ShardResult) {
         let Some(sink) = &self.timings else { return };
         let tasks = plan.tasks();
+        let refs: std::collections::HashMap<usize, f64> =
+            shard.ref_timings.iter().copied().collect();
         let mut sink = sink.lock().unwrap();
         for &(t, secs) in &shard.timings {
             let scenario = &plan.scenarios[tasks[t].0];
-            sink.push(CellTiming {
-                bucket: CostModel::bucket(scenario),
-                units: CostModel::units(scenario),
-                secs,
-            });
+            let ref_secs = refs.get(&t).copied().unwrap_or(0.0);
+            // Cells that paid for a capacity run split into a `run/` cell
+            // (their own cost) and a `ref/` cell (the reference seconds),
+            // so `--calibrate` never averages the unlike costs.
+            sink.extend(CostModel::timing_cells(scenario, secs, ref_secs));
         }
     }
 }

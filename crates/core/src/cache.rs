@@ -65,7 +65,8 @@ impl MeasurementKey {
     /// (capacity) measurement under `setup` and `rc`.
     pub fn reference(setup: &Setup, rc: &RunConfig) -> MeasurementKey {
         // Exhaustive destructuring (no `..`): adding a `RunConfig` field
-        // fails to compile here until it joins the key.
+        // fails to compile here until it joins the key (or is excluded
+        // deliberately, like `subruns`).
         let RunConfig {
             warmup_txns,
             measured_txns,
@@ -74,6 +75,11 @@ impl MeasurementKey {
             min_warmup_time,
             warm_pool,
             high_fraction,
+            // Deliberately NOT part of the key: sub-run splitting is a
+            // sweep-executor concern — a reference run is always one
+            // whole simulation, identical whatever `subruns` says, so
+            // configs differing only there must share the cache entry.
+            subruns: _,
         } = *rc;
         MeasurementKey {
             kind: MeasurementKind::Reference,

@@ -96,9 +96,17 @@ impl CostModel {
     /// estimates that class's reference seconds. Robust to junk input —
     /// non-finite or non-positive samples are dropped.
     pub fn calibrated(timings: &[CellTiming]) -> CostModel {
+        // `ref/` cells are direct observations of single reference runs
+        // (see [`CostModel::ref_bucket`]); they feed `capacity_secs` and
+        // must stay out of the per-bucket scales and the global ratio —
+        // averaging a capacity run into a measured cell's bucket is
+        // exactly the cross-contamination the split prefixes exist to
+        // prevent.
+        let (refs, timings): (Vec<&CellTiming>, Vec<&CellTiming>) =
+            timings.iter().partition(|t| t.bucket.starts_with("ref/"));
         let mut samples: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
         let (mut all_secs, mut all_units) = (0.0f64, 0.0f64);
-        for t in timings {
+        for t in &timings {
             if !(t.secs.is_finite() && t.units.is_finite() && t.secs > 0.0 && t.units > 0.0) {
                 continue;
             }
@@ -138,11 +146,33 @@ impl CostModel {
             }
         }
 
+        // Direct `ref/` observations beat the spread heuristic: each is
+        // the measured seconds of exactly one reference run, so the
+        // cheapest positive sample per class is the class's marginal
+        // reference cost. The spread estimate above stays as the
+        // fallback for legacy timing files that carry no `ref/` cells.
+        let mut direct: BTreeMap<String, f64> = BTreeMap::new();
+        for t in &refs {
+            if !(t.secs.is_finite() && t.secs > 0.0) {
+                continue;
+            }
+            let parts: Vec<&str> = t.bucket.split('/').collect();
+            let [_, _, workload, hw, _] = parts[..] else {
+                continue;
+            };
+            let class = format!("{workload}/{hw}");
+            direct
+                .entry(class)
+                .and_modify(|e| *e = e.min(t.secs))
+                .or_insert(t.secs);
+        }
+        capacity_secs.extend(direct);
+
         // Units cancel within a bucket (same cell class), so min seconds
         // over the bucket divided by the mean units would equal the min
         // ratio; recompute ratios from the kept samples directly.
         let mut scales = BTreeMap::new();
-        for t in timings {
+        for t in &timings {
             if !(t.secs.is_finite() && t.units.is_finite() && t.secs > 0.0 && t.units > 0.0) {
                 continue;
             }
@@ -236,6 +266,51 @@ impl CostModel {
             ExecSpec::Controller { .. } => 8.0,      // windowed sessions until convergence
         };
         txns * mpl_factor * exec_mult
+    }
+
+    /// Telemetry bucket for the reference (capacity) run a cell paid
+    /// for: `ref/capacity/{workload}/c{cpus}d{disks}/mref`. The `ref/`
+    /// prefix keeps capacity seconds out of the measured cell's own
+    /// bucket — before the split, the first open-load cell per
+    /// `(setup, seed)` billed its reference run into the same bucket its
+    /// cache-hitting siblings used, and `--calibrate` averaged the
+    /// unlike costs. Five `/`-separated parts, like every other bucket,
+    /// so the calibration parser needs no special case.
+    pub fn ref_bucket(scenario: &Scenario) -> String {
+        format!(
+            "ref/capacity/{}/c{}d{}/mref",
+            scenario.setup.workload.name, scenario.setup.hw.cpus, scenario.setup.hw.data_disks
+        )
+    }
+
+    /// Structural units of one reference run for this cell: a saturated
+    /// MPL-less run over the full client population at the cell's run
+    /// length (the same estimate [`CostModel::capacity_cost`] falls back
+    /// to when nothing is calibrated).
+    pub fn ref_units(scenario: &Scenario) -> f64 {
+        let txns = (scenario.rc.warmup_txns + scenario.rc.measured_txns) as f64;
+        txns * (1.0 + f64::from(scenario.setup.clients) / 40.0)
+    }
+
+    /// Split one executed cell's wall-clock telemetry into calibration
+    /// cells: the cell's own cost (total minus reference compute) in its
+    /// [`CostModel::bucket`], plus — when the cell paid for a capacity
+    /// run — a separate [`CostModel::ref_bucket`] cell carrying exactly
+    /// the reference seconds.
+    pub fn timing_cells(scenario: &Scenario, secs: f64, ref_secs: f64) -> Vec<CellTiming> {
+        let mut cells = vec![CellTiming {
+            bucket: Self::bucket(scenario),
+            units: Self::units(scenario),
+            secs: (secs - ref_secs).max(0.0),
+        }];
+        if ref_secs > 0.0 {
+            cells.push(CellTiming {
+                bucket: Self::ref_bucket(scenario),
+                units: Self::ref_units(scenario),
+                secs: ref_secs,
+            });
+        }
+        cells
     }
 
     /// The shared capacity-measurement group of a task, if its cell
@@ -511,6 +586,61 @@ mod tests {
             "calibrated ratio must match measured ratio, got {}",
             ps / pf
         );
+    }
+
+    #[test]
+    fn ref_cells_calibrate_capacity_directly_and_stay_out_of_scales() {
+        let open = run_scenario(1, 5, 800, ArrivalSpec::OpenLoad(0.9));
+        // One cell that paid a 0.5s reference on top of 0.1s of its own
+        // work, one cache-hitting sibling at 0.1s flat.
+        let mut timings = CostModel::timing_cells(&open, 0.6, 0.5);
+        timings.extend(CostModel::timing_cells(&open, 0.1, 0.0));
+        assert_eq!(timings.len(), 3);
+        assert!(timings[1].bucket.starts_with("ref/capacity/"));
+        assert_eq!(timings[1].bucket.split('/').count(), 5);
+
+        let model = CostModel::calibrated(&timings);
+        // The reference seconds are learned verbatim, not averaged into
+        // (or out of) the measured cells' bucket.
+        assert!((model.capacity_cost(&open) - 0.5).abs() < 1e-12);
+        assert_eq!(model.calibrated_buckets(), 1, "ref/ cells make no scale");
+        // Both measured observations now agree on the cell's marginal
+        // cost, so the bucket scale reflects 0.1s per cell.
+        let p = model.predict(&open);
+        assert!(
+            (p - 0.1).abs() < 1e-9,
+            "reference-paying cell must not inflate its bucket: {p}"
+        );
+    }
+
+    #[test]
+    fn direct_ref_observation_beats_the_spread_heuristic() {
+        let open = run_scenario(1, 5, 800, ArrivalSpec::OpenLoad(0.9));
+        let u = CostModel::units(&open);
+        let bucket = CostModel::bucket(&open);
+        // Legacy-shaped spread evidence says ~0.9s…
+        let mut timings = vec![
+            CellTiming {
+                bucket: bucket.clone(),
+                units: u,
+                secs: 1.0,
+            },
+            CellTiming {
+                bucket,
+                units: u,
+                secs: 0.1,
+            },
+        ];
+        let spread_only = CostModel::calibrated(&timings);
+        assert!((spread_only.capacity_cost(&open) - 0.9).abs() < 1e-12);
+        // …but a direct ref/ measurement of 0.4s wins outright.
+        timings.push(CellTiming {
+            bucket: CostModel::ref_bucket(&open),
+            units: CostModel::ref_units(&open),
+            secs: 0.4,
+        });
+        let model = CostModel::calibrated(&timings);
+        assert!((model.capacity_cost(&open) - 0.4).abs() < 1e-12);
     }
 
     #[test]

@@ -57,11 +57,13 @@ pub mod sweep;
 pub use cache::{MeasurementCache, MeasurementKey, MeasurementKind};
 pub use controller::{ControllerConfig, Decision, MplController, Reference, Targets};
 pub use cost::{CellTiming, CostModel};
-pub use driver::{ControllerOutcome, Driver, PolicyKind, PriorityOutcome, RunConfig, RunResult};
+pub use driver::{
+    combine_subruns, ControllerOutcome, Driver, PolicyKind, PriorityOutcome, RunConfig, RunResult,
+};
 pub use gate::MplGate;
 pub use observe::SweepObs;
 pub use policy::{Fifo, PriorityFifo, QueuePolicy, QueuedTxn, Sjf, WeightedFair};
 pub use scenario::{ArrivalSpec, ExecSpec, MplSpec, Scenario, ScenarioOutcome};
 pub use scheduler::ExternalScheduler;
 pub use shard::ShardResult;
-pub use sweep::{BalanceMode, ScenarioResult, SweepExecutor, SweepPlan};
+pub use sweep::{BalanceMode, FoldStats, ScenarioResult, SweepExecutor, SweepPlan};

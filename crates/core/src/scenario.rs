@@ -18,6 +18,7 @@ use crate::driver::{ControllerOutcome, Driver, PolicyKind, PriorityOutcome, RunC
 use crate::observe::SweepObs;
 use serde::Serialize;
 use std::sync::Arc;
+use xsched_sim::SimRng;
 use xsched_workload::{ArrivalProcess, Setup};
 
 /// How a run's MPL is chosen.
@@ -161,6 +162,20 @@ impl Scenario {
         cache: Option<&Arc<MeasurementCache>>,
         obs: Option<&SweepObs>,
     ) -> ScenarioOutcome {
+        self.run_timed(seed, cache, obs).0
+    }
+
+    /// [`Scenario::run_observed`] plus the wall-clock seconds spent
+    /// *computing* reference (capacity) runs along the way — zero when
+    /// every reference lookup hit the cache. The sweep executor separates
+    /// this from the cell's own cost so timing telemetry bills capacity
+    /// runs to a distinct `ref/` bucket.
+    pub fn run_timed(
+        &self,
+        seed: u64,
+        cache: Option<&Arc<MeasurementCache>>,
+        obs: Option<&SweepObs>,
+    ) -> (ScenarioOutcome, f64) {
         let rc = RunConfig {
             seed,
             ..self.rc.clone()
@@ -169,7 +184,7 @@ impl Scenario {
         if let Some(cache) = cache {
             driver = driver.with_cache(Arc::clone(cache));
         }
-        match &self.exec {
+        let outcome = match &self.exec {
             ExecSpec::Run {
                 mpl,
                 policy,
@@ -192,7 +207,79 @@ impl Scenario {
                     ScenarioOutcome::Controller(driver.run_controller_with_start(*targets, *start))
                 }
             },
+        };
+        (outcome, driver.reference_compute_secs())
+    }
+
+    /// Number of sub-runs the sweep executor splits this cell into: the
+    /// configured `rc.subruns` for plain fixed-MPL (or MPL-less) runs, 1
+    /// for everything else. `AtLoss`, priority, and controller cells are
+    /// multi-phase searches, not one steady-state measurement — splitting
+    /// them would re-run the search per sub-run.
+    pub fn subrun_count(&self) -> u32 {
+        match &self.exec {
+            ExecSpec::Run {
+                mpl: MplSpec::Fixed(_) | MplSpec::Unlimited,
+                ..
+            } => self.rc.subruns.max(1),
+            _ => 1,
         }
+    }
+
+    /// Execute sub-run `k` of `of` for this cell (only valid for the
+    /// shapes [`Scenario::subrun_count`] splits). Returns the sub-run's
+    /// result plus reference-compute seconds (see [`Scenario::run_timed`]).
+    ///
+    /// The split discipline: arrival/MPL specs resolve against the
+    /// *parent* seed (so an open-load cell's capacity reference is the
+    /// same cached measurement sub-runs share with the unsplit cell), and
+    /// each sub-run then simulates `⌈measured/of⌉` transactions — with
+    /// its own full warmup — under a seed drawn from the xoshiro256++
+    /// stream `derive(seed, "subrun/k/of")`. Sub-runs are therefore
+    /// mutually independent and independent of the parent stream, and the
+    /// whole expansion is a pure function of `(scenario, seed)` — claim
+    /// order on the worker pool cannot change a byte.
+    pub fn run_subrun(
+        &self,
+        seed: u64,
+        k: u32,
+        of: u32,
+        cache: Option<&Arc<MeasurementCache>>,
+    ) -> (RunResult, f64) {
+        let ExecSpec::Run {
+            mpl,
+            policy,
+            arrivals,
+        } = &self.exec
+        else {
+            panic!("run_subrun on a non-splittable execution shape");
+        };
+        let rc = RunConfig {
+            seed,
+            ..self.rc.clone()
+        };
+        let mut parent = Driver::new(self.setup.clone()).with_config(rc);
+        if let Some(cache) = cache {
+            parent = parent.with_cache(Arc::clone(cache));
+        }
+        let arr = arrivals.resolve(&parent);
+        let m = mpl.resolve(&parent);
+        let sub_seed = SimRng::derive(seed, &format!("subrun/{k}/{of}")).next_u64();
+        let sub_rc = RunConfig {
+            seed: sub_seed,
+            measured_txns: self.rc.measured_txns.div_ceil(u64::from(of.max(1))),
+            subruns: 1,
+            ..self.rc.clone()
+        };
+        let mut sub = Driver::new(self.setup.clone()).with_config(sub_rc);
+        if let Some(cache) = cache {
+            sub = sub.with_cache(Arc::clone(cache));
+        }
+        let result = sub.run(m, *policy, &arr);
+        (
+            result,
+            parent.reference_compute_secs() + sub.reference_compute_secs(),
+        )
     }
 
     /// This cell's label in telemetry documents: row, column (when the

@@ -43,6 +43,13 @@ pub struct ShardResult {
     /// still merge to byte-identical tables. Empty for decoded payloads
     /// that carried no timings.
     pub timings: Vec<(usize, f64)>,
+    /// `(global task index, seconds spent *computing* reference runs)`
+    /// for the tasks whose execution paid for a capacity measurement —
+    /// sparse: cells served from the measurement cache contribute
+    /// nothing. Like [`ShardResult::timings`], purely observational
+    /// (cost-model calibration bills these to a `ref/` bucket) and an
+    /// optional trailing wire section older payloads lack.
+    pub ref_timings: Vec<(usize, f64)>,
 }
 
 impl ShardResult {
@@ -121,6 +128,9 @@ impl ShardResult {
         for (t, secs) in &self.timings {
             out.push_str(&format!("timing {t} {}\n", fh(*secs)));
         }
+        for (t, secs) in &self.ref_timings {
+            out.push_str(&format!("reftiming {t} {}\n", fh(*secs)));
+        }
         out
     }
 
@@ -150,16 +160,24 @@ impl ShardResult {
 
         let mut entries = Vec::with_capacity(entries_len);
         let mut timings = Vec::new();
+        let mut ref_timings = Vec::new();
+        let parse_timing = |line: &str, rest: &str| -> Result<(usize, f64), String> {
+            let (idx, bits) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("malformed timing line `{line}`"))?;
+            let t: usize = idx.parse().map_err(|e| format!("bad timing index: {e}"))?;
+            let secs = u64::from_str_radix(bits, 16)
+                .map(f64::from_bits)
+                .map_err(|e| format!("bad timing bits `{bits}`: {e}"))?;
+            Ok((t, secs))
+        };
         for line in lines {
             if let Some(rest) = line.strip_prefix("timing ") {
-                let (idx, bits) = rest
-                    .split_once(' ')
-                    .ok_or_else(|| format!("malformed timing line `{line}`"))?;
-                let t: usize = idx.parse().map_err(|e| format!("bad timing index: {e}"))?;
-                let secs = u64::from_str_radix(bits, 16)
-                    .map(f64::from_bits)
-                    .map_err(|e| format!("bad timing bits `{bits}`: {e}"))?;
-                timings.push((t, secs));
+                timings.push(parse_timing(line, rest)?);
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("reftiming ") {
+                ref_timings.push(parse_timing(line, rest)?);
                 continue;
             }
             let (idx, rest) = line
@@ -181,6 +199,7 @@ impl ShardResult {
             task_count,
             entries,
             timings,
+            ref_timings,
         })
     }
 }
@@ -514,7 +533,10 @@ mod tests {
     #[test]
     fn encode_decode_round_trips_payloads() {
         let plan = tiny_plan();
-        let shard = SweepExecutor::serial().run_shard(&plan, 1, 2);
+        let mut shard = SweepExecutor::serial().run_shard(&plan, 1, 2);
+        // Saturated cells never pay for a reference run, so inject a
+        // reference timing to exercise the sparse `reftiming` section.
+        shard.ref_timings.push((3, 0.125));
         let decoded = ShardResult::decode(&shard.encode()).unwrap();
         assert_eq!(decoded.shard, 1);
         assert_eq!(decoded.of, 2);
@@ -532,6 +554,7 @@ mod tests {
             assert_eq!(ta, tb);
             assert_eq!(a.to_bits(), b.to_bits());
         }
+        assert_eq!(decoded.ref_timings, vec![(3, 0.125)]);
     }
 
     #[test]

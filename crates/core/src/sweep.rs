@@ -12,12 +12,14 @@
 
 use crate::cache::MeasurementCache;
 use crate::cost::CostModel;
+use crate::driver::{combine_subruns, RunResult};
 use crate::observe::SweepObs;
 use crate::scenario::{Scenario, ScenarioOutcome};
 use crate::shard::ShardResult;
 use serde::Serialize;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 use xsched_sim::{ConfidenceInterval, Replications};
 
@@ -367,7 +369,28 @@ impl SweepExecutor {
         let mut claim: Vec<usize> = (0..mine.len()).collect();
         claim.sort_by(|&a, &b| cost[b].total_cmp(&cost[a]).then(mine[a].cmp(&mine[b])));
 
-        let slots: Vec<Mutex<Option<(ScenarioOutcome, f64)>>> =
+        // Sub-run expansion: a cell whose scenario splits
+        // ([`Scenario::subrun_count`] > 1) becomes that many
+        // independently-seeded work units so one long steady-state
+        // measurement can occupy several workers at once. Units inherit
+        // the cell's claim rank (an expensive cell's sub-runs all start
+        // early); the cell's slot fills when its *last* unit lands and
+        // [`combine_subruns`] folds the parts in k order — so worker
+        // scheduling cannot change a result byte.
+        let subs: Vec<u32> = mine
+            .iter()
+            .map(|&t| plan.scenarios[tasks[t].0].subrun_count())
+            .collect();
+        let units: Vec<(usize, u32)> = claim
+            .iter()
+            .flat_map(|&pos| (0..subs[pos]).map(move |k| (pos, k)))
+            .collect();
+        let accs: Vec<Mutex<SubAcc>> = subs
+            .iter()
+            .map(|&n| Mutex::new(SubAcc::new(n as usize)))
+            .collect();
+
+        let slots: Vec<Mutex<Option<(ScenarioOutcome, f64, f64)>>> =
             mine.iter().map(|_| Mutex::new(None)).collect();
 
         let obs = self.obs.as_deref();
@@ -375,46 +398,88 @@ impl SweepExecutor {
         let misses_before = cache.misses();
         let total = mine.len();
         let done = AtomicUsize::new(0);
-        let run_task = |pos: usize, worker: usize| {
-            let (si, seed) = tasks[mine[pos]];
-            let started = Instant::now();
-            let outcome = plan.scenarios[si].run_observed(seed, Some(&cache), obs);
-            let secs = started.elapsed().as_secs_f64();
-            *slots[pos].lock().unwrap() = Some((outcome, secs));
-            let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-            if let Some(obs) = obs {
-                let r = obs.registry();
-                r.counter_add("sweep.tasks_done", 1);
-                r.counter_add(&format!("sweep.worker{worker}.tasks"), 1);
-                r.hist_record("sweep.task_secs", secs);
-                r.gauge_max("sweep.task_max_secs", secs);
-            }
-            if self.progress {
-                eprintln!(
-                    "[sweep] shard {index}/{of}: {finished}/{total} tasks done \
+        // Cell-completion bookkeeping, shared by both unit shapes. The
+        // telemetry counts *cells* (the plan's task unit), credited to
+        // the worker that finished the cell, so `sweep.tasks_done` and
+        // the per-worker counters still sum to the task count whatever
+        // the sub-run fan-out.
+        let finish_cell =
+            |pos: usize, outcome: ScenarioOutcome, secs: f64, ref_secs: f64, worker: usize| {
+                *slots[pos].lock().unwrap() = Some((outcome, secs, ref_secs));
+                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                if let Some(obs) = obs {
+                    let r = obs.registry();
+                    r.counter_add("sweep.tasks_done", 1);
+                    r.counter_add(&format!("sweep.worker{worker}.tasks"), 1);
+                    r.hist_record("sweep.task_secs", secs);
+                    r.gauge_max("sweep.task_max_secs", secs);
+                }
+                if self.progress {
+                    eprintln!(
+                        "[sweep] shard {index}/{of}: {finished}/{total} tasks done \
                      (last {secs:.2}s on worker {worker})"
+                    );
+                }
+            };
+        let run_unit = |pos: usize, k: u32, worker: usize| {
+            let (si, seed) = tasks[mine[pos]];
+            let scenario = &plan.scenarios[si];
+            let started = Instant::now();
+            if subs[pos] <= 1 {
+                let (outcome, ref_secs) = scenario.run_timed(seed, Some(&cache), obs);
+                finish_cell(
+                    pos,
+                    outcome,
+                    started.elapsed().as_secs_f64(),
+                    ref_secs,
+                    worker,
                 );
+            } else {
+                let (part, ref_secs) = scenario.run_subrun(seed, k, subs[pos], Some(&cache));
+                let secs = started.elapsed().as_secs_f64();
+                let completed = {
+                    let mut acc = accs[pos].lock().unwrap();
+                    acc.parts[k as usize] = Some(part);
+                    acc.secs += secs;
+                    acc.ref_secs += ref_secs;
+                    acc.done += 1;
+                    (acc.done == subs[pos])
+                        .then(|| (std::mem::take(&mut acc.parts), acc.secs, acc.ref_secs))
+                };
+                if let Some((parts, secs, ref_secs)) = completed {
+                    let parts: Vec<crate::driver::RunResult> = parts
+                        .into_iter()
+                        .map(|p| p.expect("every sub-run lands before the combine"))
+                        .collect();
+                    finish_cell(
+                        pos,
+                        ScenarioOutcome::Run(combine_subruns(&parts)),
+                        secs,
+                        ref_secs,
+                        worker,
+                    );
+                }
             }
         };
 
-        if self.threads <= 1 || mine.len() <= 1 {
-            for pos in 0..mine.len() {
-                run_task(pos, 0);
+        if self.threads <= 1 || units.len() <= 1 {
+            for &(pos, k) in &units {
+                run_unit(pos, k, 0);
             }
         } else {
             let next = AtomicUsize::new(0);
-            let workers = self.threads.min(mine.len());
+            let workers = self.threads.min(units.len());
             std::thread::scope(|scope| {
                 for w in 0..workers {
                     let next = &next;
-                    let claim = &claim;
-                    let run_task = &run_task;
+                    let units = &units;
+                    let run_unit = &run_unit;
                     scope.spawn(move || loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(&pos) = claim.get(i) else {
+                        let Some(&(pos, k)) = units.get(i) else {
                             break;
                         };
-                        run_task(pos, w);
+                        run_unit(pos, k, w);
                     });
                 }
             });
@@ -433,20 +498,24 @@ impl SweepExecutor {
             );
             let actual: f64 = slots
                 .iter()
-                .map(|s| s.lock().unwrap().as_ref().map_or(0.0, |(_, secs)| *secs))
+                .map(|s| s.lock().unwrap().as_ref().map_or(0.0, |(_, secs, _)| *secs))
                 .sum();
             r.gauge_add(&format!("sweep.shard{index}.actual_secs"), actual);
         }
 
         let mut entries = Vec::with_capacity(mine.len());
         let mut timings = Vec::with_capacity(mine.len());
+        let mut ref_timings = Vec::new();
         for (t, slot) in mine.into_iter().zip(slots) {
-            let (outcome, secs) = slot
+            let (outcome, secs, ref_secs) = slot
                 .into_inner()
                 .unwrap()
                 .expect("every sweep task produces an outcome");
             entries.push((t, outcome));
             timings.push((t, secs));
+            if ref_secs > 0.0 {
+                ref_timings.push((t, ref_secs));
+            }
         }
         ShardResult {
             shard: index,
@@ -455,6 +524,134 @@ impl SweepExecutor {
             task_count: tasks.len(),
             entries,
             timings,
+            ref_timings,
+        }
+    }
+
+    /// Execute the plan **streamingly**: fold every task's outcome into an
+    /// accumulator instead of materializing the whole result grid. Memory
+    /// stays O(cells in flight) — finished outcomes that arrive ahead of
+    /// the in-order fold cursor are parked briefly and folded as the
+    /// cursor reaches them, so the fold sees task indices `0, 1, 2, …`
+    /// **always in task order**, whatever the thread count. With the same
+    /// plan the folded values are bit-identical to pulling outcomes out of
+    /// [`SweepExecutor::run`]; only the peak-memory profile differs.
+    ///
+    /// Workers claim tasks in task order (not predicted-cost order — that
+    /// would maximize the out-of-order window this executor exists to
+    /// keep small). Returns the final accumulator plus [`FoldStats`]
+    /// recording the parked-outcome high-water mark.
+    pub fn run_fold<A>(
+        &self,
+        plan: &SweepPlan,
+        init: A,
+        mut fold: impl FnMut(A, usize, ScenarioOutcome) -> A,
+    ) -> (A, FoldStats) {
+        let tasks = plan.tasks();
+        let cache = self.cache.clone().unwrap_or_else(MeasurementCache::shared);
+        let obs = self.obs.as_deref();
+        let n = tasks.len();
+        let mut acc = init;
+        let mut peak = 0usize;
+        if self.threads <= 1 || n <= 1 {
+            for (t, &(si, seed)) in tasks.iter().enumerate() {
+                let outcome = plan.scenarios[si].run_observed(seed, Some(&cache), obs);
+                peak = peak.max(1);
+                acc = fold(acc, t, outcome);
+            }
+            return (
+                acc,
+                FoldStats {
+                    tasks: n,
+                    peak_parked: peak,
+                },
+            );
+        }
+        let parked: Mutex<BTreeMap<usize, ScenarioOutcome>> = Mutex::new(BTreeMap::new());
+        let ready = Condvar::new();
+        let next = AtomicUsize::new(0);
+        let workers = self.threads.min(n);
+        // `Option` dance: the consumer loop below runs inside the scope
+        // closure, and threading the accumulator through `fold` must not
+        // move it out of the capture.
+        let mut acc = Some(acc);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let parked = &parked;
+                let ready = &ready;
+                let next = &next;
+                let cache = &cache;
+                let tasks = &tasks;
+                scope.spawn(move || loop {
+                    let t = next.fetch_add(1, Ordering::Relaxed);
+                    if t >= n {
+                        break;
+                    }
+                    let (si, seed) = tasks[t];
+                    let outcome = plan.scenarios[si].run_observed(seed, Some(cache), obs);
+                    parked.lock().unwrap().insert(t, outcome);
+                    ready.notify_all();
+                });
+            }
+            // The calling thread is the consumer: wait for the cursor's
+            // outcome, note the high-water mark, fold outside the lock.
+            let mut cursor = 0usize;
+            let mut guard = parked.lock().unwrap();
+            while cursor < n {
+                while !guard.contains_key(&cursor) {
+                    guard = ready.wait(guard).unwrap();
+                }
+                peak = peak.max(guard.len());
+                while let Some(outcome) = guard.remove(&cursor) {
+                    drop(guard);
+                    acc = Some(fold(
+                        acc.take().expect("accumulator present"),
+                        cursor,
+                        outcome,
+                    ));
+                    cursor += 1;
+                    guard = parked.lock().unwrap();
+                }
+            }
+        });
+        (
+            acc.expect("fold loop leaves the accumulator in place"),
+            FoldStats {
+                tasks: n,
+                peak_parked: peak,
+            },
+        )
+    }
+}
+
+/// Execution statistics from [`SweepExecutor::run_fold`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FoldStats {
+    /// Tasks executed (= the plan's task count).
+    pub tasks: usize,
+    /// Largest number of finished outcomes ever parked waiting for the
+    /// in-order fold cursor — the streaming executor's actual memory
+    /// high-water mark, bounded by the out-of-order window rather than
+    /// the grid size.
+    pub peak_parked: usize,
+}
+
+/// Accumulates a split cell's sub-run parts until the last one lands.
+#[derive(Debug)]
+struct SubAcc {
+    parts: Vec<Option<RunResult>>,
+    secs: f64,
+    ref_secs: f64,
+    done: u32,
+}
+
+impl SubAcc {
+    fn new(n: usize) -> SubAcc {
+        SubAcc {
+            parts: vec![None; n],
+            secs: 0.0,
+            ref_secs: 0.0,
+            done: 0,
         }
     }
 }
@@ -784,5 +981,75 @@ mod tests {
             results[1].first().as_run().unwrap().throughput.to_bits(),
             other.as_run().unwrap().throughput.to_bits()
         );
+    }
+
+    /// Sub-run expansion is invisible to determinism: a plan whose cells
+    /// split into K sub-runs produces bit-identical outcomes at every
+    /// thread count, each cell equal to the hand-rolled expansion
+    /// (`run_subrun` × K combined in k order) — worker claim order can
+    /// move sub-runs between threads but never changes a byte.
+    #[test]
+    fn subrun_cells_are_bit_identical_across_thread_counts_and_match_the_manual_combine() {
+        let rc = RunConfig {
+            warmup_txns: 30,
+            measured_txns: 240,
+            subruns: 3,
+            ..Default::default()
+        };
+        let scenarios = vec![
+            Scenario::tput("s1", setup(1), 2, rc.clone()),
+            Scenario::tput("s2", setup(2), 6, rc),
+        ];
+        let plan = SweepPlan::new(scenarios).replicated(2, 42);
+        let serial = SweepExecutor::serial().run(&plan);
+        for threads in [2usize, 4] {
+            let wide = SweepExecutor::parallel(threads).run(&plan);
+            for (s, p) in serial.iter().zip(&wide) {
+                for (a, b) in s.outcomes.iter().zip(&p.outcomes) {
+                    assert_eq!(encode_outcome(a), encode_outcome(b));
+                }
+            }
+        }
+        // The executor's combined cell is exactly the manual expansion.
+        let parts: Vec<_> = (0..3)
+            .map(|k| plan.scenarios[0].run_subrun(42, k, 3, None).0)
+            .collect();
+        let manual = ScenarioOutcome::Run(crate::driver::combine_subruns(&parts));
+        assert_eq!(
+            encode_outcome(&serial[0].outcomes[0]),
+            encode_outcome(&manual)
+        );
+        // And the split changes the estimator relative to an unsplit run
+        // — the golden-pinned default path really is `subruns: 1`.
+        let unsplit = plan.scenarios[0].run(42);
+        assert_ne!(
+            encode_outcome(&serial[0].outcomes[0]),
+            encode_outcome(&unsplit)
+        );
+    }
+
+    /// The streaming executor folds every outcome exactly once, strictly
+    /// in task order, and the folded stream is bit-identical to the
+    /// batch path at any thread count. `peak_parked` bounds the
+    /// out-of-order window: at least 1, never more than the plan.
+    #[test]
+    fn run_fold_streams_in_task_order_and_matches_the_batch_run() {
+        let plan = quick_plan();
+        let reference = SweepExecutor::serial().run_shard(&plan, 0, 1);
+        let expected: Vec<String> = reference
+            .entries
+            .iter()
+            .map(|(_, o)| encode_outcome(o))
+            .collect();
+        for exec in [SweepExecutor::serial(), SweepExecutor::parallel(4)] {
+            let (folded, stats) = exec.run_fold(&plan, Vec::new(), |mut acc: Vec<String>, t, o| {
+                assert_eq!(acc.len(), t, "outcomes fold strictly in task order");
+                acc.push(encode_outcome(&o));
+                acc
+            });
+            assert_eq!(stats.tasks, plan.task_count());
+            assert!(stats.peak_parked >= 1 && stats.peak_parked <= plan.task_count());
+            assert_eq!(folded, expected);
+        }
     }
 }

@@ -98,6 +98,53 @@ enum Ev {
     External { token: u64 },
 }
 
+/// Slab of pending event payloads, addressed by `u32` handles.
+///
+/// The event heap stores only `(time, seq, handle)` — 24 bytes per entry
+/// instead of the 40 a `Scheduled<Ev>` costs with the enum inline — so a
+/// `sift_down` touches nearly twice as many entries per cache line. The
+/// payloads live here, written once at schedule time and read once at
+/// dispatch; the free list recycles slots LIFO, so the arena's footprint
+/// is bounded by the maximum number of *concurrently pending* events and
+/// the hot slots stay hot.
+#[derive(Debug, Default)]
+struct EventArena {
+    slots: Vec<Ev>,
+    free: Vec<u32>,
+}
+
+impl EventArena {
+    fn with_capacity(cap: usize) -> EventArena {
+        EventArena {
+            slots: Vec::with_capacity(cap),
+            free: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Park a payload, returning its handle.
+    #[inline]
+    fn insert(&mut self, ev: Ev) -> u32 {
+        match self.free.pop() {
+            Some(h) => {
+                self.slots[h as usize] = ev;
+                h
+            }
+            None => {
+                let h = u32::try_from(self.slots.len()).expect("more than 2^32 pending events");
+                self.slots.push(ev);
+                h
+            }
+        }
+    }
+
+    /// Read a payload back and retire its handle.
+    #[inline]
+    fn take(&mut self, h: u32) -> Ev {
+        self.free.push(h);
+        self.slots[h as usize]
+    }
+}
+
 /// The simulated DBMS.
 ///
 /// Generic over a [`TraceSink`] observing the transaction life cycle
@@ -109,7 +156,16 @@ enum Ev {
 pub struct DbmsSim<T: TraceSink = NoopTrace> {
     hw: HardwareConfig,
     cfg: DbmsConfig,
-    events: EventQueue<Ev>,
+    /// Future-event list over arena handles; payloads live in `arena`.
+    events: EventQueue<u32>,
+    /// Pending event payloads, addressed by the handles in `events`.
+    arena: EventArena,
+    /// The same-timestamp run currently being dispatched (handles), and
+    /// the cursor of the next one to process. [`EventQueue::pop_run_into`]
+    /// refills the buffer; dispatching from it preserves exact
+    /// `(time, seq)` order (see `pop_run_into`'s ordering contract).
+    batch: Vec<u32>,
+    batch_cursor: usize,
     cpu: CpuBank,
     disks: Vec<Disk>,
     log: Disk,
@@ -165,6 +221,10 @@ pub struct CapacityStats {
     pub log_batch: usize,
     /// In-flight force buffer capacity.
     pub log_current: usize,
+    /// Event-payload arena capacity (slots live + free).
+    pub event_arena: usize,
+    /// Same-timestamp dispatch-batch buffer capacity.
+    pub event_batch: usize,
 }
 
 impl DbmsSim {
@@ -197,6 +257,9 @@ impl<T: TraceSink> DbmsSim<T> {
             // Pre-sized: long runs keep thousands of events in flight and
             // must not re-grow the heap mid-measurement.
             events: EventQueue::with_capacity(1024),
+            arena: EventArena::with_capacity(1024),
+            batch: Vec::new(),
+            batch_cursor: 0,
             cpu,
             disks,
             log: Disk::new(),
@@ -290,34 +353,55 @@ impl<T: TraceSink> DbmsSim<T> {
         } else {
             time
         };
-        self.events.schedule(time, Ev::External { token });
+        let h = self.arena.insert(Ev::External { token });
+        self.events.schedule(time, h);
     }
 
-    /// Time of the next pending event, if any.
+    /// Park `ev` in the arena and schedule its handle `delay` seconds out.
+    #[inline]
+    fn enqueue_in(&mut self, delay: f64, ev: Ev) {
+        let h = self.arena.insert(ev);
+        self.events.schedule_in(delay, h);
+    }
+
+    /// Time of the next pending event, if any. Events already drained
+    /// into the dispatch batch are pending at the current timestamp.
     pub fn next_event_time(&self) -> Option<SimTime> {
-        self.events.peek_time()
+        if self.batch_cursor < self.batch.len() {
+            Some(self.events.now())
+        } else {
+            self.events.peek_time()
+        }
     }
 
-    /// Process one event. Returns [`StepOutcome::Idle`] when no events
-    /// remain (the driver then either schedules more arrivals or stops).
-    pub fn step(&mut self) -> StepOutcome {
-        let Some((_, ev)) = self.events.pop().or_else(|| {
-            // No events pending while transactions are still inside: every
-            // in-flight transaction is blocked in a lock queue. Any cycle
-            // the incremental detector missed (they can form through
-            // queue-bypass reordering or multi-cycle aborts) is broken
-            // here — the moral equivalent of a DBMS's lock-timeout sweep.
-            if !self.states.is_empty() && self.break_global_deadlock() {
-                self.events.pop()
-            } else {
-                None
-            }
-        }) else {
-            return StepOutcome::Idle;
-        };
+    /// Refill the dispatch batch with the next same-timestamp run.
+    /// Returns `false` when the simulator is truly idle.
+    fn refill_batch(&mut self) -> bool {
+        self.batch_cursor = 0;
+        if self.events.pop_run_into(&mut self.batch).is_some() {
+            return true;
+        }
+        // No events pending while transactions are still inside: every
+        // in-flight transaction is blocked in a lock queue. Any cycle
+        // the incremental detector missed (they can form through
+        // queue-bypass reordering or multi-cycle aborts) is broken
+        // here — the moral equivalent of a DBMS's lock-timeout sweep.
+        if !self.states.is_empty() && self.break_global_deadlock() {
+            self.events.pop_run_into(&mut self.batch).is_some()
+        } else {
+            false
+        }
+    }
+
+    /// Dispatch one event payload. Shared by the single-step and batched
+    /// entry points so the two cannot diverge. Returns the external token
+    /// when the event was a driver timer (dispatch then stops *without*
+    /// pumping, exactly as before: the driver reacts first).
+    #[inline]
+    fn dispatch(&mut self, ev: Ev) -> Option<u64> {
         self.events_processed += 1;
         match ev {
-            Ev::External { token } => return StepOutcome::External(token),
+            Ev::External { token } => return Some(token),
             Ev::CpuDone { epoch, txn } => self.on_cpu_done(epoch, txn),
             Ev::DiskDone { disk } => self.on_disk_done(disk),
             Ev::LogDone => self.on_log_done(),
@@ -326,6 +410,52 @@ impl<T: TraceSink> DbmsSim<T> {
             Ev::LockTimeout { txn, block_seq } => self.on_lock_timeout(txn, block_seq),
         }
         self.pump();
+        None
+    }
+
+    /// Process one event. Returns [`StepOutcome::Idle`] when no events
+    /// remain (the driver then either schedules more arrivals or stops).
+    ///
+    /// Dispatch is batched under the hood: the queue drains whole
+    /// same-timestamp runs into a reusable buffer and `step` consumes the
+    /// buffer one event per call. The observable sequence of outcomes —
+    /// and every simulation result — is bit-identical to popping events
+    /// one at a time.
+    pub fn step(&mut self) -> StepOutcome {
+        if self.batch_cursor >= self.batch.len() && !self.refill_batch() {
+            return StepOutcome::Idle;
+        }
+        let h = self.batch[self.batch_cursor];
+        self.batch_cursor += 1;
+        let ev = self.arena.take(h);
+        match self.dispatch(ev) {
+            Some(token) => StepOutcome::External(token),
+            None => StepOutcome::Advanced,
+        }
+    }
+
+    /// Batched fast path: dispatch the *rest of the current
+    /// same-timestamp run* — refilled from the heap when the buffer is
+    /// empty — through one tight loop, instead of paying the `step` call
+    /// round-trip per event. Stops early (run remainder kept buffered)
+    /// when an external token fires, so driver timers still interleave
+    /// exactly as with [`DbmsSim::step`].
+    ///
+    /// Equivalent to calling `step` in a loop until it returns something
+    /// other than [`StepOutcome::Advanced`] or the run ends; the
+    /// simulation state after either entry point is bit-identical.
+    pub fn step_run(&mut self) -> StepOutcome {
+        if self.batch_cursor >= self.batch.len() && !self.refill_batch() {
+            return StepOutcome::Idle;
+        }
+        while self.batch_cursor < self.batch.len() {
+            let h = self.batch[self.batch_cursor];
+            self.batch_cursor += 1;
+            let ev = self.arena.take(h);
+            if let Some(token) = self.dispatch(ev) {
+                return StepOutcome::External(token);
+            }
+        }
         StepOutcome::Advanced
     }
 
@@ -360,6 +490,8 @@ impl<T: TraceSink> DbmsSim<T> {
             victim_scratch: self.victim_scratch.capacity(),
             log_batch: self.log_batch.capacity(),
             log_current: self.log_current.capacity(),
+            event_arena: self.arena.slots.capacity(),
+            event_batch: self.batch.capacity(),
         }
     }
 
@@ -400,7 +532,7 @@ impl<T: TraceSink> DbmsSim<T> {
             self.states.len(),
             counts,
             self.locks.waiting_count(),
-            self.events.len()
+            self.events.len() + (self.batch.len() - self.batch_cursor)
         )
     }
 
@@ -443,7 +575,7 @@ impl<T: TraceSink> DbmsSim<T> {
         let now = self.now();
         let (done, next) = self.disks[disk].complete(now);
         if let Some((_, delay)) = next {
-            self.events.schedule_in(delay, Ev::DiskDone { disk });
+            self.enqueue_in(delay, Ev::DiskDone { disk });
         }
         if done.txn == Self::WRITEBACK {
             return; // background flush; nobody is waiting
@@ -483,7 +615,7 @@ impl<T: TraceSink> DbmsSim<T> {
                     )
                     .expect("log just became idle");
                 std::mem::swap(&mut self.log_batch, &mut self.log_current);
-                self.events.schedule_in(delay, Ev::LogDone);
+                self.enqueue_in(delay, Ev::LogDone);
             }
             for &txn in hardened.iter() {
                 self.commit(txn);
@@ -501,7 +633,7 @@ impl<T: TraceSink> DbmsSim<T> {
         } else {
             let (done, next) = self.log.complete(now);
             if let Some((_, delay)) = next {
-                self.events.schedule_in(delay, Ev::LogDone);
+                self.enqueue_in(delay, Ev::LogDone);
             }
             self.commit(done.txn);
         }
@@ -586,12 +718,12 @@ impl<T: TraceSink> DbmsSim<T> {
                             .expect("idle log must start immediately");
                         debug_assert!(self.log_current.is_empty());
                         self.log_current.push(txn);
-                        self.events.schedule_in(delay, Ev::LogDone);
+                        self.enqueue_in(delay, Ev::LogDone);
                     }
                 } else {
                     let service = self.rng.exp(self.hw.log_write_time);
                     if let Some(delay) = self.log.submit(now, IoRequest { txn, service }) {
-                        self.events.schedule_in(delay, Ev::LogDone);
+                        self.enqueue_in(delay, Ev::LogDone);
                     }
                 }
                 return;
@@ -599,7 +731,7 @@ impl<T: TraceSink> DbmsSim<T> {
             if !st.delay_done && self.hw.step_delay > 0.0 {
                 st.phase = Phase::InStepDelay;
                 let d = self.rng.exp(self.hw.step_delay);
-                self.events.schedule_in(d, Ev::DelayDone { txn: r });
+                self.enqueue_in(d, Ev::DelayDone { txn: r });
                 return;
             }
             st.delay_done = true;
@@ -642,7 +774,7 @@ impl<T: TraceSink> DbmsSim<T> {
                     let disk = Self::disk_of(pg, self.disks.len());
                     let service = self.rng.exp(self.hw.disk_read_time);
                     if let Some(delay) = self.disks[disk].submit(now, IoRequest { txn, service }) {
-                        self.events.schedule_in(delay, Ev::DiskDone { disk });
+                        self.enqueue_in(delay, Ev::DiskDone { disk });
                     }
                     self.trace.record(TraceEvent::DiskIo {
                         disk: disk as u32,
@@ -677,7 +809,7 @@ impl<T: TraceSink> DbmsSim<T> {
         let now = self.now();
         if let Some((dt, txn)) = self.cpu.next_completion(now) {
             let epoch = self.cpu.epoch();
-            self.events.schedule_in(dt, Ev::CpuDone { epoch, txn });
+            self.enqueue_in(dt, Ev::CpuDone { epoch, txn });
         }
     }
 
@@ -707,7 +839,7 @@ impl<T: TraceSink> DbmsSim<T> {
                 }
             }
             DeadlockStrategy::Timeout { timeout } => {
-                self.events.schedule_in(
+                self.enqueue_in(
                     timeout,
                     Ev::LockTimeout {
                         txn: r,
@@ -830,7 +962,7 @@ impl<T: TraceSink> DbmsSim<T> {
             return;
         }
         st.phase = Phase::BackingOff;
-        self.events.schedule_in(backoff, Ev::Restart { txn: r });
+        self.enqueue_in(backoff, Ev::Restart { txn: r });
     }
 
     fn resume_grants(&mut self, grants: &[Grant], now: f64) {
@@ -876,7 +1008,7 @@ impl<T: TraceSink> DbmsSim<T> {
                         service,
                     };
                     if let Some(delay) = self.disks[disk].submit(now, req) {
-                        self.events.schedule_in(delay, Ev::DiskDone { disk });
+                        self.enqueue_in(delay, Ev::DiskDone { disk });
                     }
                     self.metrics.writebacks += 1;
                     self.trace.record(TraceEvent::DiskIo {
