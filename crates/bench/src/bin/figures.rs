@@ -43,6 +43,7 @@ const EXPERIMENTS: &[&str] = &[
     "fig9",
     "fig10",
     "controller",
+    "chaos",
     "ablation_jumpstart",
     "fig11a",
     "fig11b",
@@ -180,6 +181,7 @@ fn main() {
                 &xsched_workload::setup_ids().collect::<Vec<_>>(),
                 &opts,
             ),
+            "chaos" => chaos_report(&rc_heavy, &opts),
             "ablation_jumpstart" => controller_ablation_report(&rc_heavy, &[1, 3, 5, 11], &opts),
             "fig11a" => fig11_report(&rc_heavy, 0.05, &opts),
             "fig11b" => fig11_report(&rc_heavy, 0.20, &opts),

@@ -15,9 +15,13 @@ use xsched_core::{
     ArrivalSpec, BalanceMode, CellTiming, CostModel, ExecSpec, MplSpec, PolicyKind, RunConfig,
     Scenario, ScenarioResult, ShardResult, SweepExecutor, SweepObs, SweepPlan, Targets,
 };
-use xsched_dbms::{CpuPolicy, LockPriorityPolicy};
+use xsched_dbms::{CpuPolicy, FaultSpec, LockPriorityPolicy, SpikeSpec, StallSpec};
 use xsched_queueing::{flex::FlexServer, mg1, recommend, ClosedNetwork, ThroughputModel, H2};
-use xsched_workload::{labeled_setups, setup, setup_ids, setups, trace, workloads, Setup};
+use xsched_sim::Dist;
+use xsched_workload::{
+    labeled_setups, setup, setup_ids, setups, trace, workloads, BurstSpec, ChaosSpec, FlashSpec,
+    Setup,
+};
 
 /// The MPL grid used by the throughput figures.
 pub const MPL_GRID: [u32; 10] = [1, 2, 3, 5, 7, 10, 15, 20, 30, 40];
@@ -650,6 +654,121 @@ pub fn controller_ablation_report(rc: &RunConfig, ids: &[u32], opts: &SweepOpts)
                 Col::new("jump", "jumpstart_mpl", "jumpstart MPL", f0),
                 Col::new("jump", "iterations", "iters (jumpstart)", f1),
                 Col::new("cold", "iterations", "iters (cold)", f1),
+            ],
+        )
+    )
+}
+
+/// The chaos robustness rows: one `(label, spec)` per fault / traffic
+/// shape. Shared by the report and the golden series snapshot so both
+/// pin exactly the same sessions. All injectors wake at `onset`; the
+/// traffic-side rows override think time so the closed population has
+/// headroom to burst (a zero-think saturated system cannot arrive
+/// faster).
+pub fn chaos_specs(rc: &RunConfig) -> Vec<(&'static str, ChaosSpec)> {
+    // Setup 1 runs ~150 txns/s, so the quick 8× session spans ~30
+    // simulated seconds; the controller settles well inside 10 s, which
+    // leaves a 15 s onset with a healthy post-onset observation span.
+    let onset = 15.0;
+    let session_txns = rc.measured_txns * 8;
+    let base = ChaosSpec::quiet(onset, session_txns);
+    vec![
+        (
+            "stall",
+            ChaosSpec {
+                faults: FaultSpec {
+                    stall: Some(StallSpec {
+                        p_per_lock: 0.02,
+                        mean_secs: 2.0,
+                    }),
+                    ..Default::default()
+                },
+                ..base.clone()
+            },
+        ),
+        (
+            "disk_spike",
+            ChaosSpec {
+                faults: FaultSpec {
+                    disk_spike: Some(SpikeSpec {
+                        mean_on: 5.0,
+                        mean_off: 10.0,
+                        factor: 8.0,
+                    }),
+                    ..Default::default()
+                },
+                ..base.clone()
+            },
+        ),
+        (
+            "abort_storm",
+            ChaosSpec {
+                faults: FaultSpec {
+                    abort_rate: 5.0,
+                    ..Default::default()
+                },
+                ..base.clone()
+            },
+        ),
+        (
+            "burst",
+            ChaosSpec {
+                burst: Some(BurstSpec {
+                    mean_on: 5.0,
+                    mean_off: 5.0,
+                    factor: 4.0,
+                }),
+                think: Some(Dist::exp(0.2)),
+                ..base.clone()
+            },
+        ),
+        (
+            "flash_crowd",
+            ChaosSpec {
+                flash: Some(FlashSpec {
+                    surge_mult: 8.0,
+                    ramp_secs: 20.0,
+                }),
+                think: Some(Dist::exp(0.5)),
+                ..base
+            },
+        ),
+    ]
+}
+
+/// Robustness suite: controller sessions on setup 1 perturbed by each
+/// chaos injector at its onset — reaction time (windows until the
+/// controller re-settles), overshoot (peak MPL excursion past the new
+/// fixed point), and the discarded-window count per fault type.
+pub fn chaos_report(rc: &RunConfig, opts: &SweepOpts) -> String {
+    let scenarios: Vec<Scenario> = chaos_specs(rc)
+        .into_iter()
+        .map(|(label, chaos)| Scenario {
+            row: label.to_string(),
+            col: String::new(),
+            setup: setup(1),
+            exec: ExecSpec::Chaos {
+                chaos,
+                targets: Targets::twenty_percent(),
+                start: None,
+            },
+            rc: rc.clone(),
+        })
+        .collect();
+    let results = opts.run(scenarios);
+    format!(
+        "Robustness — controller under chaos (setup 1, 20% targets, onset 15 s)\n{}",
+        pivot_table(
+            "fault",
+            &results,
+            &[
+                Col::metric("reaction_windows", "reaction (win)", f1),
+                Col::metric("post_onset_windows", "post-onset win", f1),
+                Col::metric("overshoot", "overshoot", f1),
+                Col::metric("peak_mpl", "peak MPL", f1),
+                Col::metric("final_mpl", "final MPL", f1),
+                Col::metric("discarded_windows", "discarded", f1),
+                Col::metric("converged", "converged (frac)", f2),
             ],
         )
     )

@@ -13,7 +13,9 @@
 //! The snapshots double as cross-machine determinism evidence: the same
 //! commit must print the same bytes on every host and thread count.
 
-use xsched_bench::{fig2_report, fig7_report, quick_rc, SweepOpts};
+use xsched_bench::{
+    chaos_report, chaos_specs, fig2_report, fig7_report, quick_rc, quick_rc_heavy, SweepOpts,
+};
 use xsched_core::{Driver, Targets};
 
 fn check(name: &str, rendered: &str) {
@@ -71,5 +73,41 @@ fn controller_series_quick_matches_golden_snapshot() {
     check("controller_series_quick.txt", &series.encode_text());
     // Determinism claim: a second session reproduces the same bytes.
     let (_, again) = d.run_controller_with_series(Targets::twenty_percent(), None);
+    assert_eq!(series.encode_text(), again.encode_text());
+}
+
+/// The chaos robustness figure in `--quick` mode must render
+/// byte-identically at any worker thread count — the fault injectors
+/// and traffic shapers draw from derived RNG streams, so chaos cells
+/// are as deterministic as plain ones.
+#[test]
+fn chaos_quick_table_matches_golden_snapshot() {
+    let opts = SweepOpts {
+        threads: 0,
+        ..Default::default()
+    };
+    let report = chaos_report(&quick_rc_heavy(), &opts);
+    check("chaos_quick.txt", &report);
+    let serial = SweepOpts {
+        threads: 1,
+        ..Default::default()
+    };
+    assert_eq!(report, chaos_report(&quick_rc_heavy(), &serial));
+}
+
+/// The per-window telemetry of one chaos session (the stall row of the
+/// quick figure) pinned to the bit: every reaction's time, setpoint,
+/// queue length, throughput, and response-time percentiles.
+#[test]
+fn chaos_series_quick_matches_golden_snapshot() {
+    let specs = chaos_specs(&quick_rc_heavy());
+    let (label, spec) = &specs[0];
+    assert_eq!(*label, "stall");
+    let d = Driver::new(xsched_workload::setup(1)).with_config(quick_rc_heavy());
+    let (out, series) = d.run_chaos_with_series(spec, Targets::twenty_percent(), None);
+    assert!(out.post_onset_windows > 0, "onset inside the session");
+    assert!(!series.is_empty(), "a chaos session emits ticks");
+    check("chaos_series_quick.txt", &series.encode_text());
+    let (_, again) = d.run_chaos_with_series(spec, Targets::twenty_percent(), None);
     assert_eq!(series.encode_text(), again.encode_text());
 }

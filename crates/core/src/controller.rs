@@ -119,6 +119,11 @@ pub enum Decision {
     SetMpl(u32),
     /// The search has settled; the MPL is the lowest feasible found.
     Converged(u32),
+    /// The window's load was unrepresentatively low; it was dropped
+    /// without a reaction. A run of these under steady traffic means the
+    /// controller is frozen (e.g. a lock-holder stall upstream), which is
+    /// why the discard is reported rather than swallowed.
+    Discarded,
 }
 
 #[derive(Debug, Default)]
@@ -140,6 +145,7 @@ pub struct MplController {
     down_streak: u32,
     up_streak: u32,
     converged: bool,
+    discarded: u32,
     trace: Vec<IterationRecord>,
 }
 
@@ -158,6 +164,7 @@ impl MplController {
             down_streak: 0,
             up_streak: 0,
             converged: false,
+            discarded: 0,
             // Pre-sized past the paper's <10-iteration bound so sessions
             // (and their telemetry) never grow this buffer mid-run.
             trace: Vec::with_capacity(32),
@@ -209,6 +216,16 @@ impl MplController {
         &self.trace
     }
 
+    /// Number of observation windows dropped by the low-load gate.
+    pub fn discarded_windows(&self) -> u32 {
+        self.discarded
+    }
+
+    /// The current search bracket `(highest_infeasible, best_feasible)`.
+    pub fn bracket(&self) -> (u32, Option<u32>) {
+        (self.highest_infeasible, self.best_feasible)
+    }
+
     /// Record one completed transaction (`rt` = end-to-end response time).
     pub fn observe(&mut self, now: f64, rt: f64) {
         if !self.window.started {
@@ -238,15 +255,27 @@ impl MplController {
         let span = (now - self.window.start).max(1e-9);
         let tput = n as f64 / span;
         let rt = self.window.rt.mean();
-        self.window = Window::default();
+        // The next window spans from *this* close instant, not from its
+        // own first completion — otherwise idle time (a stall, an arrival
+        // lull) between windows is excluded from the span and throughput
+        // is overstated, masking infeasibility.
+        self.window = Window {
+            rt: Welford::default(),
+            start: now,
+            started: true,
+        };
 
         if tput < self.cfg.min_load_fraction * self.reference.throughput {
-            // Unrepresentative (idle) period: discard without reacting.
-            return None;
+            // Unrepresentative (idle) period: discard without reacting —
+            // but say so, and count it, so a stall-induced string of
+            // discards is distinguishable from "still collecting".
+            self.discarded += 1;
+            return Some(Decision::Discarded);
         }
 
-        let feasible = tput >= (1.0 - self.cfg.targets.max_tput_loss) * self.reference.throughput
-            && rt <= (1.0 + self.cfg.targets.max_rt_increase) * self.reference.mean_rt;
+        let tput_bad = tput < (1.0 - self.cfg.targets.max_tput_loss) * self.reference.throughput;
+        let rt_bad = rt > (1.0 + self.cfg.targets.max_rt_increase) * self.reference.mean_rt;
+        let feasible = !tput_bad && !rt_bad;
         self.trace.push(IterationRecord {
             mpl: self.mpl,
             throughput: tput,
@@ -282,8 +311,49 @@ impl MplController {
             return Some(Decision::SetMpl(next));
         }
 
-        // Infeasible: never go below this again.
-        self.converged = false;
+        // Infeasible. If convergence just broke, the bracket describes the
+        // *pre-drift* workload — keeping it would let the bisection clamp
+        // the MPL inside a range the new workload invalidates. Drop it and
+        // search fresh from the current setpoint.
+        if self.converged {
+            self.converged = false;
+            self.highest_infeasible = 0;
+            self.best_feasible = None;
+            self.up_streak = 0;
+            self.down_streak = 0;
+        }
+        // Congestion signature: response time over target while throughput
+        // is *comfortably* healthy (within half the loss budget of the
+        // reference). Merely being inside the budget is not enough — in a
+        // closed system rt ≈ population/throughput, so a marginally starved
+        // window shows high rt with tput just above the loss line, and
+        // stepping down there would starve it further.
+        let congested = rt_bad
+            && tput >= (1.0 - 0.5 * self.cfg.targets.max_tput_loss) * self.reference.throughput;
+        if congested && self.mpl > self.cfg.min_mpl {
+            // A congestion down-step must not land on or below the
+            // starvation floor: there the two signals contradict —
+            // starved one step below, rt marginally over here while
+            // throughput holds — so no strictly feasible MPL exists in
+            // between. Settle at the congestion boundary (the least-bad
+            // fixed point) rather than ping-ponging across it.
+            if self.mpl <= self.highest_infeasible + step {
+                self.converged = true;
+                return Some(Decision::Converged(self.mpl));
+            }
+            // The MPL is too *high* (queueing delay), not too low — step
+            // down without raising the infeasibility floor, which
+            // describes starvation, not congestion.
+            self.up_streak = 0;
+            self.down_streak = 0;
+            // This window refutes feasibility at (and, rt being monotone
+            // in MPL, above) the current setpoint.
+            self.best_feasible = self.best_feasible.filter(|b| *b < self.mpl);
+            let next = self.mpl.saturating_sub(step).max(self.cfg.min_mpl);
+            self.mpl = next;
+            return Some(Decision::SetMpl(next));
+        }
+        // Throughput starved: never go below this again.
         self.down_streak = 0;
         self.highest_infeasible = self.highest_infeasible.max(self.mpl);
         if let Some(best) = self.best_feasible.filter(|b| *b > self.mpl) {
@@ -434,11 +504,132 @@ mod tests {
     #[test]
     fn low_load_windows_are_discarded() {
         let mut c = MplController::new(ControllerConfig::default(), reference(), 10);
-        // Throughput 10 << 0.2 × 100 → window discarded, MPL unchanged.
+        // Throughput 10 << 0.2 × 100 → window discarded, MPL unchanged —
+        // but the discard is *reported*, not silently swallowed.
         let (_, d) = feed_window(&mut c, 0.0, 120, 10.0, 1.0);
-        assert_eq!(d, None);
+        assert_eq!(d, Some(Decision::Discarded));
         assert_eq!(c.mpl(), 10);
         assert_eq!(c.iterations(), 0);
+        assert_eq!(c.discarded_windows(), 1);
+    }
+
+    #[test]
+    fn idle_gap_before_window_counts_against_its_span() {
+        // Regression: `Window.start` used to be the first-completion time,
+        // so idle time after the previous reaction (a stall, a lull) was
+        // excluded from the span and window throughput overstated.
+        let mut c = MplController::new(ControllerConfig::default(), reference(), 10);
+        // Window 1 closes at t = 1.2 (throughput 100, feasible → probes).
+        let (e, d) = feed_window(&mut c, 0.0, 120, 100.0, 1.0);
+        assert!(matches!(d, Some(Decision::SetMpl(_))));
+        // 10 s stall, then 120 fast completions in 1.2 s. Anchored at the
+        // previous close the span is 11.2 s → throughput ≈ 10.7 < 20%
+        // of reference → the window must be discarded. The pre-fix code
+        // anchored at the first completion, saw throughput 100, and
+        // reacted to an idle window as if it were a healthy one.
+        let mpl_before = c.mpl();
+        let (_, d) = feed_window(&mut c, e + 10.0, 120, 100.0, 1.0);
+        assert_eq!(d, Some(Decision::Discarded));
+        assert_eq!(c.mpl(), mpl_before);
+        assert_eq!(c.discarded_windows(), 1);
+    }
+
+    #[test]
+    fn bracket_resets_when_the_frontier_drifts_up() {
+        // Converge at 3 (feasible ≥ 3), then drift the feasible frontier
+        // up to 10. The stale bracket (highest_infeasible = 2,
+        // best_feasible = 3) describes the old workload; on the first
+        // post-drift infeasible window it must be dropped wholesale.
+        let mut c = MplController::new(ControllerConfig::default(), reference(), 3);
+        let mut t = 0.0;
+        let mut frontier = 3u32;
+        loop {
+            let (tput, rt) = if c.mpl() >= frontier {
+                (100.0, 1.0)
+            } else {
+                (80.0, 1.4)
+            };
+            let (e, d) = feed_window(&mut c, t, 120, tput, rt);
+            t = e;
+            if matches!(d, Some(Decision::Converged(_))) {
+                break;
+            }
+        }
+        assert_eq!(c.mpl(), 3);
+        // Drift: 3 is now throughput-starved.
+        frontier = 10;
+        let (e, d) = feed_window(&mut c, t, 120, 80.0, 1.4);
+        t = e;
+        assert!(matches!(d, Some(Decision::SetMpl(_))));
+        // Regression pin: the pre-fix code kept best_feasible = Some(3)
+        // from before the drift; the fix starts a fresh bracket with only
+        // this window's evidence in it.
+        assert_eq!(c.bracket(), (3, None));
+        // And the search re-converges at the new frontier.
+        for _ in 0..20 {
+            let (tput, rt) = if c.mpl() >= frontier {
+                (100.0, 1.0)
+            } else {
+                (80.0, 1.4)
+            };
+            let (e, d) = feed_window(&mut c, t, 120, tput, rt);
+            t = e;
+            if matches!(d, Some(Decision::Converged(_))) {
+                break;
+            }
+        }
+        assert!(c.is_converged());
+        assert_eq!(c.mpl(), 10);
+    }
+
+    #[test]
+    fn bracket_resets_when_the_frontier_drifts_down() {
+        // Converge at 8 (feasible ≥ 8 pre-drift), then drift so that the
+        // response-time target fails everywhere above 4 while throughput
+        // stays healthy down to 3. The controller must walk *down* to the
+        // new fixed point; the pre-fix code treated every infeasible
+        // window as "MPL too low", kept highest_infeasible = 7 from the
+        // stale bracket, and climbed to the max_mpl ceiling instead.
+        let mut c = MplController::new(ControllerConfig::default(), reference(), 8);
+        let mut t = 0.0;
+        loop {
+            let (tput, rt) = if c.mpl() >= 8 {
+                (100.0, 1.0)
+            } else {
+                (80.0, 1.4)
+            };
+            let (e, d) = feed_window(&mut c, t, 120, tput, rt);
+            t = e;
+            if matches!(d, Some(Decision::Converged(_))) {
+                break;
+            }
+        }
+        assert_eq!(c.mpl(), 8);
+        // Post-drift regime: throughput fine at MPL ≥ 3, response time
+        // within target only at MPL ≤ 4.
+        let post_drift = |mpl: u32| -> (f64, f64) {
+            let tput = if mpl >= 3 { 100.0 } else { 80.0 };
+            let rt = if mpl <= 4 { 1.0 } else { 1.5 };
+            (tput, rt)
+        };
+        let mut last = None;
+        for _ in 0..30 {
+            let (tput, rt) = post_drift(c.mpl());
+            let (e, d) = feed_window(&mut c, t, 120, tput, rt);
+            t = e;
+            if let Some(d) = d {
+                last = Some(d);
+                if matches!(d, Decision::Converged(_)) {
+                    break;
+                }
+            }
+        }
+        assert_eq!(
+            last,
+            Some(Decision::Converged(3)),
+            "must settle at the new frontier"
+        );
+        assert_eq!(c.mpl(), 3);
     }
 
     #[test]

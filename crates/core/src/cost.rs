@@ -208,6 +208,7 @@ impl CostModel {
             ExecSpec::Run { .. } => "run",
             ExecSpec::PriorityAtLoss { .. } => "priority",
             ExecSpec::Controller { .. } => "controller",
+            ExecSpec::Chaos { .. } => "chaos",
         };
         let arrivals = match &scenario.exec {
             ExecSpec::Run { arrivals, .. } => match arrivals {
@@ -264,6 +265,10 @@ impl CostModel {
             ExecSpec::Run { .. } => 1.0,
             ExecSpec::PriorityAtLoss { .. } => 14.0, // search + reference + priority runs
             ExecSpec::Controller { .. } => 8.0,      // windowed sessions until convergence
+            // Calibration plus a fixed post-onset observation budget: the
+            // convergence break is off, so the session always runs its
+            // full `session_txns` — costlier than a plain controller cell.
+            ExecSpec::Chaos { .. } => 12.0,
         };
         txns * mpl_factor * exec_mult
     }

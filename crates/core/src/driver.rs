@@ -26,10 +26,12 @@ use crate::scheduler::ExternalScheduler;
 use serde::Serialize;
 use std::sync::Arc;
 use xsched_dbms::txn::{PageId, Priority};
-use xsched_dbms::{Completion, DbmsMetrics, DbmsSim, StepOutcome};
-use xsched_obs::{ControllerSeries, ControllerTick, LogHistogram, NoopTrace, TraceSink};
+use xsched_dbms::{Completion, DbmsMetrics, DbmsSim, StepOutcome, Toggler};
+use xsched_obs::{
+    ControllerSeries, ControllerTick, LogHistogram, NoopTrace, TraceEvent, TraceSink,
+};
 use xsched_sim::{BatchMeans, Replications, SampleSet, SimRng, SimTime, Welford};
-use xsched_workload::{ArrivalProcess, Setup, TxnGen};
+use xsched_workload::{ArrivalProcess, ChaosSpec, FlashSpec, Setup, TxnGen};
 
 /// Length and bookkeeping of one simulation run.
 #[derive(Debug, Clone, Serialize)]
@@ -334,9 +336,122 @@ pub struct ControllerOutcome {
     pub reference_rt: f64,
     /// Whether the session converged within its budget.
     pub converged: bool,
+    /// Observation windows thrown away because their throughput fell
+    /// below the controller's `min_load_fraction` floor — a long run of
+    /// these under steady traffic means the controller is frozen, not
+    /// collecting.
+    pub discarded_windows: u32,
     /// Per-window history (MPL in force, throughput, response time,
     /// verdict).
     pub trace: Vec<IterationRecord>,
+}
+
+/// Robustness metrics of one chaos session (see [`Driver::run_chaos`]).
+///
+/// A chaos session converges the controller on the healthy system, lets
+/// the spec's injectors fire at the onset instant, and keeps observing
+/// until the session's transaction budget runs out. The reaction and
+/// overshoot metrics quantify how the §4.3 feedback loop rides out the
+/// regime change.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChaosOutcome {
+    /// MPL setpoint in force when the session ended.
+    pub final_mpl: u32,
+    /// Highest setpoint in force in any post-onset window (at least
+    /// `final_mpl`).
+    pub peak_mpl: u32,
+    /// Peak post-onset excursion past the new fixed point:
+    /// `peak_mpl − final_mpl`.
+    pub overshoot: u32,
+    /// Observation windows after onset until the controller entered the
+    /// converged stretch it then *stayed* in — its reaction time in
+    /// windows. `1` when the fault never dislodged it (the first
+    /// post-onset window re-affirmed convergence); equal to
+    /// `post_onset_windows` (censored) when it never re-settled.
+    pub reaction_windows: u32,
+    /// Observation windows closed after the onset instant.
+    pub post_onset_windows: u32,
+    /// Whether the controller ended the session converged.
+    pub converged: bool,
+    /// Total observation/reaction iterations over the whole session.
+    pub iterations: u32,
+    /// Low-load windows discarded over the whole session (a string of
+    /// these is the signature of a stalled DBMS, not an idle client).
+    pub discarded_windows: u32,
+    /// Healthy-system reference throughput from calibration, txns/s.
+    pub reference_tput: f64,
+}
+
+/// Per-session accumulators behind [`ChaosOutcome`], filled by
+/// `run_inner` as controller windows close. Zero when no chaos spec is
+/// attached.
+#[derive(Debug, Clone, Copy, Default)]
+struct ChaosWindowStats {
+    post_onset_windows: u32,
+    /// First post-onset window index (1-based) of the convergence
+    /// stretch the controller is still in; reset whenever it unconverges.
+    reaction_candidate: Option<u32>,
+    peak_mpl: u32,
+}
+
+/// Client-side chaos in force during a run: the MMPP burst modulator
+/// and the flash-crowd ramp, both dividing arrival delays. Built only
+/// for chaos sessions with a traffic-side injector enabled; every other
+/// path computes delays exactly as before (byte-identity).
+struct TrafficShaper {
+    burst: Option<(Toggler, f64)>,
+    flash: Option<FlashSpec>,
+    onset: f64,
+}
+
+impl TrafficShaper {
+    fn new(spec: &ChaosSpec, seed: u64) -> Option<TrafficShaper> {
+        if spec.burst.is_none() && spec.flash.is_none() {
+            return None;
+        }
+        let burst = spec.burst.map(|b| {
+            let rng = SimRng::derive(seed, "chaos/burst");
+            (
+                Toggler::new(rng, b.mean_on, b.mean_off, spec.onset),
+                b.factor,
+            )
+        });
+        Some(TrafficShaper {
+            burst,
+            flash: spec.flash,
+            onset: spec.onset,
+        })
+    }
+
+    /// Divisor applied to the next arrival delay (≥ 1 for the specs the
+    /// experiments use). Polling the burst modulator emits one
+    /// [`TraceEvent::ChaosBurst`] per phase flip; its flip schedule is
+    /// consultation-independent, so lazy polling keeps bit-determinism.
+    fn divisor<T: TraceSink>(&mut self, now: f64, trace: &mut T) -> f64 {
+        let mut div = 1.0;
+        if let Some((tog, factor)) = self.burst.as_mut() {
+            while let Some((t, active)) = tog.poll(now) {
+                trace.record(TraceEvent::ChaosBurst {
+                    t,
+                    factor: if active { *factor } else { 1.0 },
+                });
+            }
+            if tog.is_active() {
+                div *= *factor;
+            }
+        }
+        if let Some(f) = self.flash {
+            if now >= self.onset {
+                let ramp = if f.ramp_secs <= 0.0 {
+                    1.0
+                } else {
+                    ((now - self.onset) / f.ramp_secs).min(1.0)
+                };
+                div *= 1.0 + (f.surge_mult - 1.0) * ramp;
+            }
+        }
+        div
+    }
 }
 
 /// Binds a setup to a run configuration; all experiments hang off this.
@@ -392,7 +507,8 @@ impl Driver {
 
     /// Execute one run at the given MPL, policy and arrival process.
     pub fn run(&self, mpl: u32, kind: PolicyKind, arrivals: &ArrivalProcess) -> RunResult {
-        self.run_inner(mpl, kind, arrivals, None, None, NoopTrace).0
+        self.run_inner(mpl, kind, arrivals, None, None, None, NoopTrace)
+            .0
     }
 
     /// Execute one run with a trace sink attached to the simulator,
@@ -406,7 +522,7 @@ impl Driver {
         arrivals: &ArrivalProcess,
         trace: T,
     ) -> (RunResult, T) {
-        let (result, _, trace) = self.run_inner(mpl, kind, arrivals, None, None, trace);
+        let (result, _, trace, _) = self.run_inner(mpl, kind, arrivals, None, None, None, trace);
         (result, trace)
     }
 
@@ -549,12 +665,14 @@ impl Driver {
         (out, series)
     }
 
-    fn controller_session(
+    /// Calibrate against the MPL-less system and build the jump-started
+    /// controller — the shared prelude of every controller-driven
+    /// session. Returns `(controller, jumpstart_mpl, reference_run)`.
+    fn calibrated_controller(
         &self,
         targets: Targets,
         start: Option<u32>,
-        series: Option<&mut ControllerSeries>,
-    ) -> ControllerOutcome {
+    ) -> (MplController, u32, RunResult) {
         let reference = self.reference();
         let cpus = self.setup.hw.cpus;
         let utils = reference.utilizations(cpus);
@@ -581,11 +699,26 @@ impl Driver {
             mean_rt: reference.mean_rt,
         };
         let initial = start.unwrap_or(jump);
-        let controller = MplController::new(cfg, reference_ctl, initial);
-        let (_, ctl, _) = self.run_inner(
+        (
+            MplController::new(cfg, reference_ctl, initial),
+            jump,
+            reference,
+        )
+    }
+
+    fn controller_session(
+        &self,
+        targets: Targets,
+        start: Option<u32>,
+        series: Option<&mut ControllerSeries>,
+    ) -> ControllerOutcome {
+        let (controller, jump, reference) = self.calibrated_controller(targets, start);
+        let initial = controller.mpl();
+        let (_, ctl, _, _) = self.run_inner(
             initial,
             PolicyKind::Fifo,
             &self.saturated(),
+            None,
             Some(controller),
             series,
             NoopTrace,
@@ -598,33 +731,119 @@ impl Driver {
             reference_tput: reference.throughput,
             reference_rt: reference.mean_rt,
             converged: ctl.is_converged(),
+            discarded_windows: ctl.discarded_windows(),
             trace: ctl.trace().to_vec(),
+        }
+    }
+
+    /// A chaos robustness session: calibrate and jump-start as in
+    /// [`Driver::run_controller`], let the spec's injectors wake at
+    /// `spec.onset`, and keep the controller observing until
+    /// `spec.session_txns` measured completions (the usual convergence
+    /// break is disabled so post-onset behaviour stays visible). The
+    /// outcome reports reaction time and overshoot for the fault.
+    pub fn run_chaos(
+        &self,
+        spec: &ChaosSpec,
+        targets: Targets,
+        start: Option<u32>,
+    ) -> ChaosOutcome {
+        self.chaos_session(spec, targets, start, None)
+    }
+
+    /// [`Driver::run_chaos`] plus the per-window telemetry series, for
+    /// figure rendering and golden pinning. The outcome is bit-identical
+    /// to the series-less call.
+    pub fn run_chaos_with_series(
+        &self,
+        spec: &ChaosSpec,
+        targets: Targets,
+        start: Option<u32>,
+    ) -> (ChaosOutcome, ControllerSeries) {
+        let mut series = ControllerSeries::with_capacity(128);
+        let out = self.chaos_session(spec, targets, start, Some(&mut series));
+        (out, series)
+    }
+
+    fn chaos_session(
+        &self,
+        spec: &ChaosSpec,
+        targets: Targets,
+        start: Option<u32>,
+        series: Option<&mut ControllerSeries>,
+    ) -> ChaosOutcome {
+        let (controller, _, reference) = self.calibrated_controller(targets, start);
+        let initial = controller.mpl();
+        // Traffic-side chaos needs think-time headroom to act on: a
+        // saturated (zero-think) closed population cannot burst, so chaos
+        // rows override the think distribution.
+        let arrivals = match &spec.think {
+            Some(think) => ArrivalProcess::Closed {
+                clients: self.setup.clients,
+                think: think.clone(),
+            },
+            None => self.saturated(),
+        };
+        let (_, ctl, _, stats) = self.run_inner(
+            initial,
+            PolicyKind::Fifo,
+            &arrivals,
+            Some(spec),
+            Some(controller),
+            series,
+            NoopTrace,
+        );
+        let ctl = ctl.expect("controller returned");
+        let final_mpl = ctl.mpl();
+        let peak_mpl = stats.peak_mpl.max(final_mpl);
+        let reaction_windows = match stats.reaction_candidate {
+            Some(w) => w,
+            // Never dislodged (stayed in its pre-onset convergence).
+            None if ctl.is_converged() => 0,
+            // Never re-settled: censor at the post-onset window count.
+            None => stats.post_onset_windows,
+        };
+        ChaosOutcome {
+            final_mpl,
+            peak_mpl,
+            overshoot: peak_mpl - final_mpl,
+            reaction_windows,
+            post_onset_windows: stats.post_onset_windows,
+            converged: ctl.is_converged(),
+            iterations: ctl.iterations(),
+            discarded_windows: ctl.discarded_windows(),
+            reference_tput: reference.throughput,
         }
     }
 
     // ------------------------------------------------------------------
 
+    #[allow(clippy::too_many_arguments)]
     fn run_inner<T: TraceSink>(
         &self,
         mpl: u32,
         kind: PolicyKind,
         arrivals: &ArrivalProcess,
+        chaos: Option<&ChaosSpec>,
         mut controller: Option<MplController>,
         mut series: Option<&mut ControllerSeries>,
         trace: T,
-    ) -> (RunResult, Option<MplController>, T) {
+    ) -> (RunResult, Option<MplController>, T, ChaosWindowStats) {
         // Closes one controller observation window into a telemetry tick
-        // and resets the window accumulators.
+        // and resets the window accumulators. The next window is anchored
+        // at *this* close instant (mirroring the controller's own window
+        // spans), so idle time after a reaction counts against the next
+        // window's throughput instead of silently vanishing.
         fn close_tick(
             series: &mut ControllerSeries,
             win_hist: &mut LogHistogram,
             win_count: &mut u64,
-            win_start: f64,
+            win_start: &mut f64,
             now: f64,
             mpl: u32,
             queue_len: u64,
         ) {
-            let span = (now - win_start).max(1e-9);
+            let span = (now - *win_start).max(1e-9);
             series.push(ControllerTick {
                 t: now,
                 mpl,
@@ -636,11 +855,21 @@ impl Driver {
             });
             *win_hist = LogHistogram::new();
             *win_count = 0;
+            *win_start = now;
         }
 
         let rc = &self.rc;
         let setup = &self.setup;
         let mut sim = DbmsSim::with_trace(setup.hw.clone(), setup.cfg.clone(), rc.seed, trace);
+        // Service-side faults attach only when an injector is enabled, so
+        // a quiet chaos spec leaves the simulator byte-identical to a
+        // non-chaos run (each injector is additionally self-gating).
+        if let Some(ch) = chaos {
+            if !ch.faults.is_noop() {
+                sim = sim.with_chaos(ch.faults, ch.onset, rc.seed);
+            }
+        }
+        let mut shaper = chaos.and_then(|ch| TrafficShaper::new(ch, rc.seed));
         if rc.warm_pool {
             let n = setup.hw.bufferpool_pages.min(setup.workload.db_pages);
             // Zipf favours low page ids, so the first `n` pages are the
@@ -656,22 +885,30 @@ impl Driver {
         match arrivals {
             ArrivalProcess::Closed { clients, .. } => {
                 for _ in 0..*clients {
-                    let d = arrivals.next_delay(&mut arr_rng);
+                    let mut d = arrivals.next_delay(&mut arr_rng);
+                    if let Some(sh) = shaper.as_mut() {
+                        d /= sh.divisor(0.0, sim.trace_mut());
+                    }
                     sim.schedule_external(SimTime::from_secs_f64(d), 0);
                 }
             }
             ArrivalProcess::Open { .. } => {
-                let d = arrivals.next_delay(&mut arr_rng);
+                let mut d = arrivals.next_delay(&mut arr_rng);
+                if let Some(sh) = shaper.as_mut() {
+                    d /= sh.divisor(0.0, sim.trace_mut());
+                }
                 sim.schedule_external(SimTime::from_secs_f64(d), 0);
             }
         }
 
         // When a controller drives the run, keep running until it
-        // converges (or a generous completion budget runs out).
-        let measured_budget = if controller.is_some() {
-            100 * 1_000
-        } else {
-            rc.measured_txns
+        // converges (or a generous completion budget runs out). Chaos
+        // sessions instead run out their explicit budget: convergence
+        // must not end them, or the post-onset behaviour would vanish.
+        let measured_budget = match (chaos, controller.is_some()) {
+            (Some(ch), _) => ch.session_txns,
+            (None, true) => 100 * 1_000,
+            (None, false) => rc.measured_txns,
         };
 
         let mut completed: u64 = 0;
@@ -691,6 +928,8 @@ impl Driver {
         let mut win_hist = LogHistogram::new();
         let mut win_count: u64 = 0;
         let mut win_start = 0.0f64;
+        let mut win_started = false;
+        let mut chaos_stats = ChaosWindowStats::default();
         let mut aborts_at_meas_start = 0u64;
         // Ping-pong buffer for completions: `drain_completions_into` swaps
         // it with the simulator's accumulation buffer, so the steady-state
@@ -708,7 +947,10 @@ impl Driver {
                         sim.submit(q.body, q.arrival);
                     }
                     if let ArrivalProcess::Open { .. } = arrivals {
-                        let d = arrivals.next_delay(&mut arr_rng);
+                        let mut d = arrivals.next_delay(&mut arr_rng);
+                        if let Some(sh) = shaper.as_mut() {
+                            d /= sh.divisor(sim.now(), sim.trace_mut());
+                        }
                         sim.schedule_external(SimTime::from_secs_f64(sim.now() + d), 0);
                     }
                 }
@@ -721,7 +963,10 @@ impl Driver {
                         completed += 1;
                         sched.complete();
                         if arrivals.is_closed() {
-                            let d = arrivals.next_delay(&mut arr_rng);
+                            let mut d = arrivals.next_delay(&mut arr_rng);
+                            if let Some(sh) = shaper.as_mut() {
+                                d /= sh.divisor(sim.now(), sim.trace_mut());
+                            }
                             sim.schedule_external(SimTime::from_secs_f64(sim.now() + d), 0);
                         }
                         if !measuring
@@ -746,44 +991,67 @@ impl Driver {
                             meas_end_t = c.completed;
                             if let Some(ctl) = controller.as_mut() {
                                 ctl.observe(c.completed, rt);
+                                // The very first window starts at the
+                                // first observed completion (like the
+                                // controller's); every later one at the
+                                // previous decision's close.
+                                if !win_started {
+                                    win_started = true;
+                                    win_start = c.completed;
+                                }
+                                win_count += 1;
                                 if series.is_some() {
-                                    if win_count == 0 {
-                                        win_start = c.completed;
-                                    }
-                                    win_count += 1;
                                     win_hist.record(rt);
                                 }
-                                match ctl.react(c.completed) {
-                                    Some(Decision::SetMpl(m)) => {
-                                        sched.set_mpl(m);
-                                        if let Some(s) = series.as_deref_mut() {
-                                            close_tick(
-                                                s,
-                                                &mut win_hist,
-                                                &mut win_count,
-                                                win_start,
-                                                c.completed,
-                                                sched.mpl(),
-                                                sched.queue_len() as u64,
-                                            );
+                                if let Some(d) = ctl.react(c.completed) {
+                                    match d {
+                                        Decision::SetMpl(m) | Decision::Converged(m) => {
+                                            sched.set_mpl(m);
+                                        }
+                                        Decision::Discarded => {
+                                            // Starved window thrown away:
+                                            // the setpoint stands, but the
+                                            // event is visible in the trace
+                                            // instead of masquerading as
+                                            // "still collecting".
+                                            let span = (c.completed - win_start).max(1e-9);
+                                            sim.trace_mut().record(TraceEvent::ControllerDiscard {
+                                                t: c.completed,
+                                                throughput: win_count as f64 / span,
+                                            });
                                         }
                                     }
-                                    Some(Decision::Converged(m)) => {
-                                        sched.set_mpl(m);
-                                        if let Some(s) = series.as_deref_mut() {
-                                            close_tick(
-                                                s,
-                                                &mut win_hist,
-                                                &mut win_count,
-                                                win_start,
-                                                c.completed,
-                                                sched.mpl(),
-                                                sched.queue_len() as u64,
-                                            );
+                                    if let Some(s) = series.as_deref_mut() {
+                                        close_tick(
+                                            s,
+                                            &mut win_hist,
+                                            &mut win_count,
+                                            &mut win_start,
+                                            c.completed,
+                                            sched.mpl(),
+                                            sched.queue_len() as u64,
+                                        );
+                                    } else {
+                                        win_count = 0;
+                                        win_start = c.completed;
+                                    }
+                                    if let Some(ch) = chaos {
+                                        if c.completed >= ch.onset {
+                                            chaos_stats.post_onset_windows += 1;
+                                            chaos_stats.peak_mpl =
+                                                chaos_stats.peak_mpl.max(sched.mpl());
+                                            if ctl.is_converged() {
+                                                chaos_stats
+                                                    .reaction_candidate
+                                                    .get_or_insert(chaos_stats.post_onset_windows);
+                                            } else {
+                                                chaos_stats.reaction_candidate = None;
+                                            }
                                         }
+                                    }
+                                    if matches!(d, Decision::Converged(_)) && chaos.is_none() {
                                         break 'outer;
                                     }
-                                    None => {}
                                 }
                             }
                         }
@@ -826,7 +1094,7 @@ impl Driver {
             },
             metrics,
         };
-        (result, controller, sim.into_trace())
+        (result, controller, sim.into_trace(), chaos_stats)
     }
 }
 
@@ -1006,5 +1274,63 @@ mod tests {
         // The last tick carries the setpoint the session settled on.
         let last = series_a.ticks.last().unwrap();
         assert_eq!(last.mpl, out_a.final_mpl);
+    }
+
+    #[test]
+    fn quiet_chaos_extends_the_controller_session() {
+        // A chaos session with every injector disabled replays the plain
+        // controller session tick for tick — the only difference is that
+        // it keeps observing past convergence instead of breaking. The
+        // plain session's series must therefore be a bit-exact prefix of
+        // the quiet chaos one.
+        let d = quick_driver(1);
+        let targets = Targets::twenty_percent();
+        let (ctl_out, ctl_series) = d.run_controller_with_series(targets, None);
+        let spec = ChaosSpec::quiet(5.0, 20_000);
+        let (chaos_out, chaos_series) = d.run_chaos_with_series(&spec, targets, None);
+        let n = ctl_series.ticks.len();
+        assert!(chaos_series.ticks.len() >= n, "chaos session ended early");
+        assert_eq!(
+            &chaos_series.ticks[..n],
+            &ctl_series.ticks[..],
+            "quiet chaos diverged from the plain controller session"
+        );
+        assert_eq!(
+            chaos_out.reference_tput.to_bits(),
+            ctl_out.reference_tput.to_bits()
+        );
+        assert!(chaos_out.post_onset_windows > 0);
+        assert!(chaos_out.reaction_windows <= chaos_out.post_onset_windows.max(1));
+    }
+
+    #[test]
+    fn chaos_session_is_bit_reproducible() {
+        let d = quick_driver(1);
+        let spec = ChaosSpec {
+            faults: xsched_dbms::FaultSpec {
+                stall: Some(xsched_dbms::StallSpec {
+                    p_per_lock: 0.05,
+                    mean_secs: 1.0,
+                }),
+                disk_spike: Some(xsched_dbms::SpikeSpec {
+                    mean_on: 4.0,
+                    mean_off: 8.0,
+                    factor: 6.0,
+                }),
+                abort_rate: 0.0,
+            },
+            ..ChaosSpec::quiet(20.0, 6_000)
+        };
+        let targets = Targets::twenty_percent();
+        let (out_a, series_a) = d.run_chaos_with_series(&spec, targets, None);
+        let (out_b, series_b) = d.run_chaos_with_series(&spec, targets, None);
+        assert_eq!(format!("{out_a:?}"), format!("{out_b:?}"));
+        assert_eq!(series_a.encode_text(), series_b.encode_text());
+        // The series-less entry point must agree with the instrumented one.
+        let plain = d.run_chaos(&spec, targets, None);
+        assert_eq!(format!("{plain:?}"), format!("{out_a:?}"));
+        assert!(out_a.post_onset_windows > 0, "{out_a:?}");
+        assert_eq!(out_a.overshoot, out_a.peak_mpl - out_a.final_mpl);
+        assert!(out_a.reaction_windows <= out_a.post_onset_windows.max(1));
     }
 }

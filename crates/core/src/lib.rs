@@ -58,7 +58,8 @@ pub use cache::{MeasurementCache, MeasurementKey, MeasurementKind};
 pub use controller::{ControllerConfig, Decision, MplController, Reference, Targets};
 pub use cost::{CellTiming, CostModel};
 pub use driver::{
-    combine_subruns, ControllerOutcome, Driver, PolicyKind, PriorityOutcome, RunConfig, RunResult,
+    combine_subruns, ChaosOutcome, ControllerOutcome, Driver, PolicyKind, PriorityOutcome,
+    RunConfig, RunResult,
 };
 pub use gate::MplGate;
 pub use observe::SweepObs;

@@ -14,12 +14,14 @@
 
 use crate::cache::MeasurementCache;
 use crate::controller::Targets;
-use crate::driver::{ControllerOutcome, Driver, PolicyKind, PriorityOutcome, RunConfig, RunResult};
+use crate::driver::{
+    ChaosOutcome, ControllerOutcome, Driver, PolicyKind, PriorityOutcome, RunConfig, RunResult,
+};
 use crate::observe::SweepObs;
 use serde::Serialize;
 use std::sync::Arc;
 use xsched_sim::SimRng;
-use xsched_workload::{ArrivalProcess, Setup};
+use xsched_workload::{ArrivalProcess, ChaosSpec, Setup};
 
 /// How a run's MPL is chosen.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
@@ -93,6 +95,17 @@ pub enum ExecSpec {
     /// A live controller session (§4.3). `start = None` uses the
     /// queueing-model jump-start; `Some(m)` cold-starts at `m`.
     Controller {
+        /// DBA targets for the session.
+        targets: Targets,
+        /// Optional explicit starting MPL.
+        start: Option<u32>,
+    },
+    /// A chaos robustness session: a controller session whose workload is
+    /// perturbed at `chaos.onset` by the spec's fault and traffic-shape
+    /// injectors, measuring reaction time and overshoot.
+    Chaos {
+        /// The fault / traffic-shape layer and session length.
+        chaos: ChaosSpec,
         /// DBA targets for the session.
         targets: Targets,
         /// Optional explicit starting MPL.
@@ -207,6 +220,18 @@ impl Scenario {
                     ScenarioOutcome::Controller(driver.run_controller_with_start(*targets, *start))
                 }
             },
+            ExecSpec::Chaos {
+                chaos,
+                targets,
+                start,
+            } => match obs {
+                Some(obs) => {
+                    let (out, series) = driver.run_chaos_with_series(chaos, *targets, *start);
+                    obs.add_controller_series(self.cell_label(seed), series);
+                    ScenarioOutcome::Chaos(out)
+                }
+                None => ScenarioOutcome::Chaos(driver.run_chaos(chaos, *targets, *start)),
+            },
         };
         (outcome, driver.reference_compute_secs())
     }
@@ -302,6 +327,8 @@ pub enum ScenarioOutcome {
     Priority(PriorityOutcome),
     /// A controller session.
     Controller(ControllerOutcome),
+    /// A chaos robustness session.
+    Chaos(ChaosOutcome),
 }
 
 impl ScenarioOutcome {
@@ -325,6 +352,14 @@ impl ScenarioOutcome {
     pub fn as_controller(&self) -> Option<&ControllerOutcome> {
         match self {
             ScenarioOutcome::Controller(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The chaos outcome, if this is a chaos robustness session.
+    pub fn as_chaos(&self) -> Option<&ChaosOutcome> {
+        match self {
+            ScenarioOutcome::Chaos(c) => Some(c),
             _ => None,
         }
     }
@@ -376,6 +411,17 @@ impl ScenarioOutcome {
                 ("reference_rt", c.reference_rt),
                 ("converged", if c.converged { 1.0 } else { 0.0 }),
             ],
+            ScenarioOutcome::Chaos(c) => vec![
+                ("final_mpl", f64::from(c.final_mpl)),
+                ("peak_mpl", f64::from(c.peak_mpl)),
+                ("overshoot", f64::from(c.overshoot)),
+                ("reaction_windows", f64::from(c.reaction_windows)),
+                ("post_onset_windows", f64::from(c.post_onset_windows)),
+                ("iterations", f64::from(c.iterations)),
+                ("discarded_windows", f64::from(c.discarded_windows)),
+                ("reference_tput", c.reference_tput),
+                ("converged", if c.converged { 1.0 } else { 0.0 }),
+            ],
         }
     }
 }
@@ -420,6 +466,39 @@ mod tests {
             .find_mpl_for_loss(0.20)
             .0;
         assert_eq!(out.as_run().unwrap().mpl, want);
+    }
+
+    #[test]
+    fn chaos_scenario_reports_reaction_metrics() {
+        let rc = RunConfig::quick();
+        let sc = Scenario {
+            row: "chaos".into(),
+            col: String::new(),
+            setup: setup(1),
+            exec: ExecSpec::Chaos {
+                chaos: ChaosSpec::quiet(2.0, 1_500),
+                targets: Targets::twenty_percent(),
+                start: None,
+            },
+            rc: rc.clone(),
+        };
+        assert_eq!(sc.subrun_count(), 1, "chaos cells never split");
+        let out = sc.run(rc.seed);
+        let chaos = out.as_chaos().expect("chaos outcome");
+        assert!(chaos.post_onset_windows > 0);
+        for key in [
+            "reaction_windows",
+            "overshoot",
+            "peak_mpl",
+            "final_mpl",
+            "discarded_windows",
+            "converged",
+        ] {
+            assert!(
+                out.metrics().iter().any(|(k, _)| *k == key),
+                "chaos outcome lacks {key}"
+            );
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! reassembled with `figures --merge` prints byte-identical tables.
 
 use crate::controller::IterationRecord;
-use crate::driver::{ControllerOutcome, PriorityOutcome, RunResult};
+use crate::driver::{ChaosOutcome, ControllerOutcome, PriorityOutcome, RunResult};
 use crate::scenario::ScenarioOutcome;
 use crate::sweep::{assemble, ScenarioResult, SweepPlan};
 use serde::Serialize;
@@ -339,16 +339,29 @@ pub fn encode_outcome(outcome: &ScenarioOutcome) -> String {
                     .join(";")
             };
             format!(
-                "C {} {} {} {} {} {} {}",
+                "C {} {} {} {} {} {} {} {}",
                 c.final_mpl,
                 c.iterations,
                 c.jumpstart_mpl,
                 fh(c.reference_tput),
                 fh(c.reference_rt),
                 u8::from(c.converged),
+                c.discarded_windows,
                 trace,
             )
         }
+        ScenarioOutcome::Chaos(c) => format!(
+            "X {} {} {} {} {} {} {} {} {}",
+            c.final_mpl,
+            c.peak_mpl,
+            c.overshoot,
+            c.reaction_windows,
+            c.post_onset_windows,
+            u8::from(c.converged),
+            c.iterations,
+            c.discarded_windows,
+            fh(c.reference_tput),
+        ),
     }
 }
 
@@ -450,6 +463,7 @@ pub fn decode_outcome(line: &str) -> Result<ScenarioOutcome, String> {
             let reference_tput = t.f64()?;
             let reference_rt = t.f64()?;
             let converged = t.bool()?;
+            let discarded_windows = t.int()?;
             let trace_tok = t.next()?;
             let trace = if trace_tok == "-" {
                 Vec::new()
@@ -482,9 +496,21 @@ pub fn decode_outcome(line: &str) -> Result<ScenarioOutcome, String> {
                 reference_tput,
                 reference_rt,
                 converged,
+                discarded_windows,
                 trace,
             }))
         }
+        "X" => Ok(ScenarioOutcome::Chaos(ChaosOutcome {
+            final_mpl: t.int()?,
+            peak_mpl: t.int()?,
+            overshoot: t.int()?,
+            reaction_windows: t.int()?,
+            post_onset_windows: t.int()?,
+            converged: t.bool()?,
+            iterations: t.int()?,
+            discarded_windows: t.int()?,
+            reference_tput: t.f64()?,
+        })),
         other => Err(format!("unknown outcome kind `{other}`")),
     }
 }
@@ -555,6 +581,28 @@ mod tests {
             assert_eq!(a.to_bits(), b.to_bits());
         }
         assert_eq!(decoded.ref_timings, vec![(3, 0.125)]);
+    }
+
+    #[test]
+    fn chaos_outcome_round_trips_through_the_codec() {
+        let out = ScenarioOutcome::Chaos(ChaosOutcome {
+            final_mpl: 7,
+            peak_mpl: 19,
+            overshoot: 12,
+            reaction_windows: 23,
+            post_onset_windows: 31,
+            converged: true,
+            iterations: 45,
+            discarded_windows: 6,
+            reference_tput: 1234.5678,
+        });
+        let line = encode_outcome(&out);
+        assert!(line.starts_with("X "), "{line}");
+        let back = decode_outcome(&line).unwrap();
+        assert_eq!(encode_outcome(&back), line);
+        let chaos = back.as_chaos().expect("chaos outcome");
+        assert_eq!(chaos.peak_mpl, 19);
+        assert_eq!(chaos.reference_tput.to_bits(), 1234.5678f64.to_bits());
     }
 
     #[test]

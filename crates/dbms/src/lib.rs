@@ -28,6 +28,7 @@ pub mod bufferpool;
 pub mod config;
 pub mod cpu;
 pub mod disk;
+pub mod fault;
 pub mod lock;
 pub mod metrics;
 pub mod sim;
@@ -37,6 +38,7 @@ pub mod txn;
 pub use config::{
     CpuPolicy, DbmsConfig, DeadlockStrategy, HardwareConfig, IsolationLevel, LockPriorityPolicy,
 };
+pub use fault::{FaultSpec, SpikeSpec, StallSpec, Toggler};
 pub use metrics::{Completion, DbmsMetrics};
 pub use sim::{CapacityStats, DbmsSim, StepOutcome};
 pub use txn::{ItemId, LockMode, PageId, Priority, Step, TxnBody, TxnId};

@@ -25,6 +25,7 @@ use crate::config::{
 };
 use crate::cpu::CpuBank;
 use crate::disk::{Disk, IoRequest};
+use crate::fault::{FaultSpec, Toggler};
 use crate::lock::{Grant, LockManager, RequestOutcome};
 use crate::metrics::{Completion, DbmsMetrics};
 use crate::slab::{Slab, SlotRef};
@@ -72,6 +73,9 @@ struct TxnState {
     page: usize,
     lock_acquired: bool,
     delay_done: bool,
+    /// Chaos: the stall injector already rolled the dice for this step's
+    /// lock (one draw per acquisition, not per resume).
+    stalled: bool,
     pending_cpu_extra: f64,
     phase: Phase,
     restarts: u32,
@@ -89,13 +93,30 @@ struct TxnState {
 /// the request may belong to the ownerless write-back sentinel.
 #[derive(Debug, Clone, Copy)]
 enum Ev {
-    CpuDone { epoch: u64, txn: TxnId },
-    DiskDone { disk: usize },
+    CpuDone {
+        epoch: u64,
+        txn: TxnId,
+    },
+    DiskDone {
+        disk: usize,
+    },
     LogDone,
-    Restart { txn: SlotRef },
-    DelayDone { txn: SlotRef },
-    LockTimeout { txn: SlotRef, block_seq: u64 },
-    External { token: u64 },
+    Restart {
+        txn: SlotRef,
+    },
+    DelayDone {
+        txn: SlotRef,
+    },
+    LockTimeout {
+        txn: SlotRef,
+        block_seq: u64,
+    },
+    External {
+        token: u64,
+    },
+    /// Chaos: one tick of the client abort storm (self-rescheduling
+    /// Poisson stream; only ever scheduled when the storm is enabled).
+    ChaosAbort,
 }
 
 /// Slab of pending event payloads, addressed by `u32` handles.
@@ -193,7 +214,23 @@ pub struct DbmsSim<T: TraceSink = NoopTrace> {
     /// reports raw events/second from this).
     events_processed: u64,
     metrics: DbmsMetrics,
+    /// Fault-injection layer; `None` (the default) is the byte-identical
+    /// no-chaos path.
+    chaos: Option<ChaosState>,
     trace: T,
+}
+
+/// Live state of the fault injectors (see [`crate::fault`]). Each
+/// injector draws from its own derived stream so enabling one never
+/// shifts another's (or the simulator's) randomness.
+#[derive(Debug)]
+struct ChaosState {
+    spec: FaultSpec,
+    /// Injectors stay dormant before this simulated time.
+    onset: f64,
+    stall_rng: SimRng,
+    abort_rng: SimRng,
+    spike: Option<Toggler>,
 }
 
 /// Capacities of the simulator's reusable hot-loop buffers.
@@ -276,13 +313,51 @@ impl<T: TraceSink> DbmsSim<T> {
             rng: SimRng::derive(seed, "dbms"),
             next_id: 0,
             events_processed: 0,
+            chaos: None,
             trace,
         }
+    }
+
+    /// Attach the service-side fault layer. Injectors stay dormant until
+    /// `onset` simulated seconds; their RNG streams derive from `seed`
+    /// independently of the simulator's own stream, so a [`FaultSpec`]
+    /// with every injector disabled (see [`FaultSpec::is_noop`]) leaves
+    /// the simulation byte-identical to one built without this call.
+    pub fn with_chaos(mut self, spec: FaultSpec, onset: f64, seed: u64) -> DbmsSim<T> {
+        let spike = spec.disk_spike.map(|s| {
+            Toggler::new(
+                SimRng::derive(seed, "chaos/disk"),
+                s.mean_on,
+                s.mean_off,
+                onset,
+            )
+        });
+        let mut ch = ChaosState {
+            spec,
+            onset,
+            stall_rng: SimRng::derive(seed, "chaos/stall"),
+            abort_rng: SimRng::derive(seed, "chaos/abort"),
+            spike,
+        };
+        if spec.abort_rate > 0.0 {
+            let t = onset + ch.abort_rng.exp(1.0 / spec.abort_rate);
+            let h = self.arena.insert(Ev::ChaosAbort);
+            self.events.schedule(SimTime::from_secs_f64(t), h);
+        }
+        self.chaos = Some(ch);
+        self
     }
 
     /// The attached trace sink.
     pub fn trace(&self) -> &T {
         &self.trace
+    }
+
+    /// Mutable access to the trace sink, so the driver can thread its
+    /// own typed events (arrival bursts, controller discards) through
+    /// the same stream the simulator emits into.
+    pub fn trace_mut(&mut self) -> &mut T {
+        &mut self.trace
     }
 
     /// Consume the simulator and hand back its trace sink.
@@ -321,6 +396,7 @@ impl<T: TraceSink> DbmsSim<T> {
             page: 0,
             lock_acquired: false,
             delay_done: false,
+            stalled: false,
             pending_cpu_extra: 0.0,
             phase: Phase::OnCpu, // placeholder until advance() decides
             restarts: 0,
@@ -408,6 +484,7 @@ impl<T: TraceSink> DbmsSim<T> {
             Ev::Restart { txn } => self.on_restart(txn),
             Ev::DelayDone { txn } => self.on_delay_done(txn),
             Ev::LockTimeout { txn, block_seq } => self.on_lock_timeout(txn, block_seq),
+            Ev::ChaosAbort => self.on_chaos_abort(),
         }
         self.pump();
         None
@@ -568,6 +645,7 @@ impl<T: TraceSink> DbmsSim<T> {
         st.page = 0;
         st.lock_acquired = false;
         st.delay_done = false;
+        st.stalled = false;
         self.runnable.push_back(r);
     }
 
@@ -670,6 +748,66 @@ impl<T: TraceSink> DbmsSim<T> {
         self.runnable.push_back(txn);
     }
 
+    /// One tick of the client abort storm: kill the youngest transaction
+    /// currently blocked in a lock queue (a client giving up on a stuck
+    /// request), then schedule the next tick of the Poisson stream.
+    fn on_chaos_abort(&mut self) {
+        let now = self.now();
+        let delay = {
+            let ch = self.chaos.as_mut().expect("storm tick without chaos");
+            ch.abort_rng.exp(1.0 / ch.spec.abort_rate)
+        };
+        self.enqueue_in(delay, Ev::ChaosAbort);
+        let victim = self
+            .states
+            .iter()
+            .filter(|(_, st)| st.phase == Phase::AcquiringLock)
+            .map(|(_, st)| st.id)
+            .max();
+        if let Some(v) = victim {
+            self.trace
+                .record(TraceEvent::ChaosAbort { txn: v.0, t: now });
+            self.abort_txn(v);
+        }
+    }
+
+    /// Current data-disk service multiplier under the spike injector
+    /// (1.0 when chaos is off or the spike is dormant). Polling emits a
+    /// [`TraceEvent::ChaosDiskSpike`] per phase flip; the flip schedule
+    /// itself is consultation-independent (see [`Toggler`]). Takes the
+    /// fields it needs instead of `&mut self` so callers may hold a
+    /// `states` borrow.
+    fn chaos_disk_factor(chaos: &mut Option<ChaosState>, trace: &mut T, now: f64) -> f64 {
+        let Some(ch) = chaos.as_mut() else {
+            return 1.0;
+        };
+        let Some(tog) = ch.spike.as_mut() else {
+            return 1.0;
+        };
+        while let Some((t, active)) = tog.poll(now) {
+            trace.record(TraceEvent::ChaosDiskSpike { t, active });
+        }
+        if tog.is_active() {
+            ch.spec.disk_spike.map_or(1.0, |s| s.factor)
+        } else {
+            1.0
+        }
+    }
+
+    /// Roll the stall injector for a just-acquired step lock: `Some(len)`
+    /// when the holder should freeze. One uniform draw per acquisition
+    /// while enabled and past onset; zero draws otherwise.
+    fn stall_draw(chaos: &mut Option<ChaosState>, now: f64) -> Option<f64> {
+        let ch = chaos.as_mut()?;
+        let sp = ch.spec.stall?;
+        if now < ch.onset || sp.p_per_lock <= 0.0 {
+            return None;
+        }
+        ch.stall_rng
+            .chance(sp.p_per_lock)
+            .then(|| ch.stall_rng.exp(sp.mean_secs))
+    }
+
     // ------------------------------------------------------------------
     // Transaction state machine
     // ------------------------------------------------------------------
@@ -761,6 +899,26 @@ impl<T: TraceSink> DbmsSim<T> {
                     st.lock_acquired = true;
                 }
             }
+            // Chaos: a freshly secured step lock may stall its holder. The
+            // dice roll happens once per acquisition (`stalled` latches it),
+            // never on the resume pass after the stall elapses.
+            if self.chaos.is_some() && lock_needed.is_some() {
+                let st = self.states.get_mut(r).expect("advancing unknown txn");
+                if !st.stalled {
+                    st.stalled = true;
+                    if let Some(secs) = Self::stall_draw(&mut self.chaos, now) {
+                        let st = self.states.get_mut(r).unwrap();
+                        st.phase = Phase::InStepDelay;
+                        self.enqueue_in(secs, Ev::DelayDone { txn: r });
+                        self.trace.record(TraceEvent::ChaosStall {
+                            txn: txn.0,
+                            t: now,
+                            secs,
+                        });
+                        return;
+                    }
+                }
+            }
             // Page accesses.
             let st = self.states.get_mut(r).expect("advancing unknown txn");
             let step = &st.body.steps[st.step];
@@ -772,7 +930,8 @@ impl<T: TraceSink> DbmsSim<T> {
                 } else {
                     st.phase = Phase::ReadingPage;
                     let disk = Self::disk_of(pg, self.disks.len());
-                    let service = self.rng.exp(self.hw.disk_read_time);
+                    let factor = Self::chaos_disk_factor(&mut self.chaos, &mut self.trace, now);
+                    let service = self.rng.exp(self.hw.disk_read_time) * factor;
                     if let Some(delay) = self.disks[disk].submit(now, IoRequest { txn, service }) {
                         self.enqueue_in(delay, Ev::DiskDone { disk });
                     }
@@ -797,6 +956,7 @@ impl<T: TraceSink> DbmsSim<T> {
             st.page = 0;
             st.lock_acquired = false;
             st.delay_done = false;
+            st.stalled = false;
         }
     }
 
@@ -952,6 +1112,7 @@ impl<T: TraceSink> DbmsSim<T> {
         st.page = 0;
         st.lock_acquired = false;
         st.delay_done = false;
+        st.stalled = false;
         st.pending_cpu_extra = 0.0;
         if st.restarts > self.cfg.max_restarts {
             // Livelock guard: give up on 2PL for this transaction and let
@@ -999,10 +1160,11 @@ impl<T: TraceSink> DbmsSim<T> {
             // Flush a fraction of the touched pages back to the data
             // disks; the transaction does not wait for these.
             let frac = self.cfg.writeback_fraction;
+            let factor = Self::chaos_disk_factor(&mut self.chaos, &mut self.trace, now);
             for pg in st.body.steps.iter().flat_map(|s| s.pages.iter().copied()) {
                 if self.rng.chance(frac) {
                     let disk = Self::disk_of(pg, self.disks.len());
-                    let service = self.rng.exp(self.hw.disk_read_time);
+                    let service = self.rng.exp(self.hw.disk_read_time) * factor;
                     let req = IoRequest {
                         txn: Self::WRITEBACK,
                         service,
@@ -1737,6 +1899,190 @@ mod tests {
         assert!(
             x16 < 1.3 * x4,
             "saturated disk cannot keep scaling: {x4} -> {x16}"
+        );
+    }
+
+    /// Contended burst under an optional fault layer. Runs to completion
+    /// by transaction count (not to idle: the abort-storm tick
+    /// self-reschedules forever) and returns completion bits + the event
+    /// counts the injectors emitted.
+    fn chaos_run(
+        spec: Option<crate::fault::FaultSpec>,
+        seed: u64,
+    ) -> (Vec<(u64, u64)>, xsched_obs::CountingSink) {
+        let mut s = DbmsSim::with_trace(
+            HardwareConfig::default(),
+            DbmsConfig::default(),
+            seed,
+            xsched_obs::CountingSink::default(),
+        );
+        if let Some(sp) = spec {
+            s = s.with_chaos(sp, 0.0, seed);
+        }
+        let mut rng = SimRng::derive(seed, "wl");
+        for k in 0..60u64 {
+            let body = TxnBody {
+                txn_type: 0,
+                priority: Priority::Low,
+                steps: vec![Step {
+                    lock: Some((ItemId(k % 4), LockMode::Exclusive)),
+                    pages: vec![PageId(rng.index_u64(100))],
+                    cpu: 0.0005 + rng.uniform() * 0.001,
+                }],
+            };
+            s.submit(body, 0.0);
+        }
+        let mut guard = 0u64;
+        while s.in_flight() > 0 && s.step() != StepOutcome::Idle {
+            guard += 1;
+            assert!(guard < 10_000_000, "chaos run failed to finish");
+        }
+        let done = s
+            .drain_completions()
+            .iter()
+            .map(|c| (c.completed.to_bits(), c.lock_wait.to_bits()))
+            .collect();
+        (done, s.into_trace())
+    }
+
+    /// The rate-0 identity the whole chaos axis rests on: attaching a
+    /// fault layer with every injector disabled leaves completions and
+    /// the trace stream byte-identical to a sim built without chaos.
+    #[test]
+    fn disabled_chaos_is_byte_identical() {
+        let (base, base_sink) = chaos_run(None, 11);
+        assert_eq!(base.len(), 60);
+        let (noop, noop_sink) = chaos_run(Some(FaultSpec::default()), 11);
+        assert_eq!(base, noop, "no-op fault layer altered results");
+        assert_eq!(base_sink, noop_sink, "no-op fault layer altered trace");
+    }
+
+    #[test]
+    fn chaos_is_bit_reproducible_in_seed_and_spec() {
+        use crate::fault::{SpikeSpec, StallSpec};
+        let spec = FaultSpec {
+            stall: Some(StallSpec {
+                p_per_lock: 0.5,
+                mean_secs: 0.010,
+            }),
+            disk_spike: Some(SpikeSpec {
+                mean_on: 0.050,
+                mean_off: 0.050,
+                factor: 8.0,
+            }),
+            abort_rate: 50.0,
+        };
+        let (a, sink_a) = chaos_run(Some(spec), 11);
+        let (b, sink_b) = chaos_run(Some(spec), 11);
+        assert_eq!(a, b, "same (seed, spec) must be bit-identical");
+        assert_eq!(sink_a, sink_b);
+        let (c, _) = chaos_run(Some(spec), 12);
+        assert_ne!(a, c, "different seed must perturb the run");
+    }
+
+    #[test]
+    fn stall_injector_freezes_lock_holders() {
+        use crate::fault::StallSpec;
+        let spec = FaultSpec {
+            stall: Some(StallSpec {
+                p_per_lock: 1.0,
+                mean_secs: 0.050,
+            }),
+            ..Default::default()
+        };
+        let (base, _) = chaos_run(None, 11);
+        let (stalled, sink) = chaos_run(Some(spec), 11);
+        let kind = TraceEvent::ChaosStall {
+            txn: 0,
+            t: 0.0,
+            secs: 0.0,
+        }
+        .kind();
+        assert!(sink.by_kind[kind] >= 60, "every acquisition must stall");
+        let makespan = |v: &Vec<(u64, u64)>| {
+            v.iter()
+                .map(|(c, _)| f64::from_bits(*c))
+                .fold(0.0, f64::max)
+        };
+        assert!(
+            makespan(&stalled) > 2.0 * makespan(&base),
+            "stalls must stretch the contended burst: {} vs {}",
+            makespan(&base),
+            makespan(&stalled)
+        );
+    }
+
+    #[test]
+    fn abort_storm_kills_blocked_transactions() {
+        let spec = FaultSpec {
+            abort_rate: 500.0,
+            ..Default::default()
+        };
+        let (done, sink) = chaos_run(Some(spec), 11);
+        assert_eq!(done.len(), 60, "storm victims must restart and commit");
+        let kind = TraceEvent::ChaosAbort { txn: 0, t: 0.0 }.kind();
+        assert!(
+            sink.by_kind[kind] > 0,
+            "a 500/s storm over a contended burst must kill someone"
+        );
+    }
+
+    #[test]
+    fn disk_spike_inflates_read_latency() {
+        use crate::fault::SpikeSpec;
+        let run = |spec: Option<FaultSpec>| {
+            let hw = HardwareConfig {
+                bufferpool_pages: 1, // force every read to disk
+                ..Default::default()
+            };
+            let mut s = DbmsSim::with_trace(
+                hw,
+                DbmsConfig::default(),
+                9,
+                xsched_obs::CountingSink::default(),
+            );
+            if let Some(sp) = spec {
+                s = s.with_chaos(sp, 0.0, 9);
+            }
+            for k in 0..40u64 {
+                s.submit(
+                    TxnBody {
+                        txn_type: 0,
+                        priority: Priority::Low,
+                        steps: vec![Step {
+                            lock: None,
+                            pages: vec![PageId(k * 7919 + 1)],
+                            cpu: 0.001,
+                        }],
+                    },
+                    0.0,
+                );
+            }
+            run_to_idle(&mut s);
+            let done = s.drain_completions();
+            assert_eq!(done.len(), 40);
+            let makespan = done.iter().map(|c| c.completed).fold(0.0, f64::max);
+            (makespan, s.into_trace())
+        };
+        let (base, _) = run(None);
+        let spec = FaultSpec {
+            disk_spike: Some(SpikeSpec {
+                mean_on: 1_000.0, // pinned ON for the whole run
+                mean_off: 0.001,
+                factor: 10.0,
+            }),
+            ..Default::default()
+        };
+        let (spiked, sink) = run(Some(spec));
+        let kind = TraceEvent::ChaosDiskSpike {
+            t: 0.0,
+            active: false,
+        }
+        .kind();
+        assert!(sink.by_kind[kind] >= 1, "the spike must have toggled on");
+        assert!(
+            spiked > 2.0 * base,
+            "reads under a 10x spike must crawl: {base} vs {spiked}"
         );
     }
 }

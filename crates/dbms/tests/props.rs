@@ -3,8 +3,51 @@
 use proptest::prelude::*;
 use xsched_dbms::bufferpool::BufferPool;
 use xsched_dbms::cpu::CpuBank;
-use xsched_dbms::txn::{PageId, Priority, Step, TxnBody, TxnId};
-use xsched_dbms::{CpuPolicy, DbmsConfig, DbmsSim, HardwareConfig, StepOutcome};
+use xsched_dbms::txn::{ItemId, LockMode, PageId, Priority, Step, TxnBody, TxnId};
+use xsched_dbms::{
+    CountingSink, CpuPolicy, DbmsConfig, DbmsSim, FaultSpec, HardwareConfig, SpikeSpec, StallSpec,
+    StepOutcome,
+};
+use xsched_sim::SimRng;
+
+/// A small lock-contending workload driven to completion under an
+/// optional fault layer; returns every completion timestamp bit pattern
+/// plus the per-kind trace event counts.
+fn chaos_fingerprint(spec: Option<FaultSpec>, seed: u64) -> (Vec<u64>, CountingSink) {
+    let mut sim = DbmsSim::with_trace(
+        HardwareConfig::default(),
+        DbmsConfig::default(),
+        seed,
+        CountingSink::default(),
+    );
+    if let Some(sp) = spec {
+        sim = sim.with_chaos(sp, 0.0, seed);
+    }
+    let mut rng = SimRng::derive(seed, "wl");
+    for k in 0..40u64 {
+        let body = TxnBody {
+            txn_type: 0,
+            priority: Priority::Low,
+            steps: vec![Step {
+                lock: Some((ItemId(k % 4), LockMode::Exclusive)),
+                pages: vec![PageId(rng.index_u64(64))],
+                cpu: 0.0005 + rng.uniform() * 0.001,
+            }],
+        };
+        sim.submit(body, 0.0);
+    }
+    let mut guard = 0u64;
+    while sim.in_flight() > 0 && sim.step() != StepOutcome::Idle {
+        guard += 1;
+        assert!(guard < 10_000_000, "chaos run failed to finish");
+    }
+    let done = sim
+        .drain_completions()
+        .iter()
+        .map(|c| c.completed.to_bits())
+        .collect();
+    (done, sim.into_trace())
+}
 
 proptest! {
     /// LRU capacity is never exceeded; a re-probed page is always resident
@@ -117,5 +160,57 @@ proptest! {
         }
         prop_assert!(seen.iter().all(|s| *s), "some txn never committed");
         prop_assert_eq!(sim.in_flight(), 0);
+    }
+
+    /// Every fault injector, at any rate, is bit-reproducible in
+    /// `(seed, spec)`: two runs of the same chaos case agree on every
+    /// completion timestamp bit and every trace event count.
+    #[test]
+    fn fault_injectors_are_bit_reproducible(
+        seed in any::<u64>(),
+        stall_p in 0.0f64..1.0,
+        stall_mean in 0.0001f64..0.05,
+        spike_on in 0.001f64..0.5,
+        spike_off in 0.001f64..0.5,
+        spike_factor in 1.0f64..20.0,
+        abort_rate in 0.0f64..200.0,
+        enables in 0u8..8,
+    ) {
+        let spec = FaultSpec {
+            stall: (enables & 1 != 0).then_some(StallSpec {
+                p_per_lock: stall_p,
+                mean_secs: stall_mean,
+            }),
+            disk_spike: (enables & 2 != 0).then_some(SpikeSpec {
+                mean_on: spike_on,
+                mean_off: spike_off,
+                factor: spike_factor,
+            }),
+            abort_rate: if enables & 4 != 0 { abort_rate } else { 0.0 },
+        };
+        let a = chaos_fingerprint(Some(spec), seed);
+        let b = chaos_fingerprint(Some(spec), seed);
+        prop_assert_eq!(a.0, b.0, "completion bits diverged");
+        prop_assert_eq!(a.1, b.1, "trace event counts diverged");
+    }
+
+    /// The rate-0 identity, quantified over seeds: a fault layer whose
+    /// every injector is disabled (including one carrying a zero-rate
+    /// stall) is byte-identical to a sim built without chaos at all.
+    #[test]
+    fn zero_rate_chaos_is_byte_identical(seed in any::<u64>()) {
+        let (base, base_trace) = chaos_fingerprint(None, seed);
+        prop_assert_eq!(base.len(), 40);
+        let (dflt, dflt_trace) = chaos_fingerprint(Some(FaultSpec::default()), seed);
+        prop_assert_eq!(&base, &dflt, "default fault layer altered results");
+        prop_assert_eq!(&base_trace, &dflt_trace, "default fault layer altered trace");
+        let zero_rate = FaultSpec {
+            stall: Some(StallSpec { p_per_lock: 0.0, mean_secs: 1.0 }),
+            disk_spike: None,
+            abort_rate: 0.0,
+        };
+        let (zr, zr_trace) = chaos_fingerprint(Some(zero_rate), seed);
+        prop_assert_eq!(&base, &zr, "zero-rate stall altered results");
+        prop_assert_eq!(&base_trace, &zr_trace, "zero-rate stall altered trace");
     }
 }

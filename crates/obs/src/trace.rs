@@ -72,6 +72,45 @@ pub enum TraceEvent {
         /// Simulation time, seconds.
         t: f64,
     },
+    /// Chaos: a lock-holding transaction was stalled mid-step (the
+    /// injected analogue of a client holding a lock across a pause).
+    ChaosStall {
+        /// Transaction id.
+        txn: u64,
+        /// Simulation time, seconds.
+        t: f64,
+        /// Injected stall length, seconds.
+        secs: f64,
+    },
+    /// Chaos: the disk-latency spike toggled on or off.
+    ChaosDiskSpike {
+        /// Simulation time, seconds.
+        t: f64,
+        /// True when the spike became active, false when it lifted.
+        active: bool,
+    },
+    /// Chaos: a client abort storm killed a blocked transaction.
+    ChaosAbort {
+        /// Transaction id.
+        txn: u64,
+        /// Simulation time, seconds.
+        t: f64,
+    },
+    /// Chaos: the MMPP arrival burst toggled between its phases.
+    ChaosBurst {
+        /// Simulation time, seconds.
+        t: f64,
+        /// Think-time divisor now in force (>1 during the ON phase).
+        factor: f64,
+    },
+    /// The MPL controller discarded a low-load observation window — a
+    /// run of these under steady traffic means the controller is frozen.
+    ControllerDiscard {
+        /// Simulation time, seconds.
+        t: f64,
+        /// Throughput of the discarded window, txns/second.
+        throughput: f64,
+    },
 }
 
 impl TraceEvent {
@@ -87,11 +126,16 @@ impl TraceEvent {
             TraceEvent::DiskIo { .. } => 5,
             TraceEvent::GroupCommit { .. } => 6,
             TraceEvent::Commit { .. } => 7,
+            TraceEvent::ChaosStall { .. } => 8,
+            TraceEvent::ChaosDiskSpike { .. } => 9,
+            TraceEvent::ChaosAbort { .. } => 10,
+            TraceEvent::ChaosBurst { .. } => 11,
+            TraceEvent::ControllerDiscard { .. } => 12,
         }
     }
 
     /// Number of distinct event kinds.
-    pub const KINDS: usize = 8;
+    pub const KINDS: usize = 13;
 
     /// Stable short name of a kind index.
     pub fn kind_name(kind: usize) -> &'static str {
@@ -104,6 +148,11 @@ impl TraceEvent {
             "disk_io",
             "group_commit",
             "commit",
+            "chaos_stall",
+            "chaos_disk_spike",
+            "chaos_abort",
+            "chaos_burst",
+            "controller_discard",
         ][kind]
     }
 }

@@ -15,9 +15,13 @@
 //! * [`trace`] — synthetic stand-ins for the paper's proprietary top-10
 //!   online retailer / auction-site traces (C² ≈ 2),
 //! * [`client`] — closed (think-time) and open (Poisson) arrival models,
+//! * [`chaos`] — traffic-shape and fault chaos specs (arrival bursts,
+//!   flash crowds, think-time overrides, service-side fault layers) for
+//!   the robustness experiments,
 //! * [`setups`][mod@setups] — Table 1's six workloads and Table 2's 17 setups, each
 //!   mapped to concrete hardware and DBMS configurations.
 
+pub mod chaos;
 pub mod client;
 pub mod setups;
 pub mod spec;
@@ -25,6 +29,7 @@ pub mod tpcc;
 pub mod tpcw;
 pub mod trace;
 
+pub use chaos::{BurstSpec, ChaosSpec, FlashSpec};
 pub use client::ArrivalProcess;
 pub use setups::{labeled_setups, setup, setup_ids, setups, setups_where, workloads, Setup};
 pub use spec::{LockProfile, TxnGen, TxnTemplate, WorkloadSpec};
