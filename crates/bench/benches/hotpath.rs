@@ -36,7 +36,7 @@ use xsched_bench::{
 use xsched_core::cost::encode_timing_cell;
 use xsched_core::{
     ArrivalSpec, BalanceMode, CellTiming, CostModel, ExecSpec, MeasurementCache, MplSpec,
-    PolicyKind, RunConfig, Scenario, ScenarioOutcome, SweepExecutor, SweepPlan,
+    PolicyKind, RunConfig, Scenario, ScenarioOutcome, SweepExecutor, SweepPlan, TaskOutcome,
 };
 use xsched_dbms::{CountingSink, DbmsSim, NoopTrace, StepOutcome, TraceSink};
 use xsched_sim::{EventQueue, SimTime};
@@ -229,8 +229,8 @@ fn measure_saturation_grid() -> GridStats {
     let executor = SweepExecutor::parallel(0).with_cache(MeasurementCache::shared());
     let t0 = Instant::now();
     let (acc, stats) = executor.run_fold(&plan, (0usize, 0.0f64, 0u64), |acc, _, outcome| {
-        let ScenarioOutcome::Run(r) = outcome else {
-            unreachable!("the grid is all plain runs");
+        let TaskOutcome::Ok(ScenarioOutcome::Run(r)) = outcome else {
+            unreachable!("the grid is all plain runs with no fault policy");
         };
         (acc.0 + 1, acc.1.max(r.mean_rt), acc.2 + r.metrics.commits)
     });

@@ -28,7 +28,9 @@ use xsched_bench::cli::{parse_args, USAGE};
 use xsched_bench::*;
 use xsched_core::cost::{decode_timings, encode_timings};
 use xsched_core::shard::decode_payloads;
-use xsched_core::{CostModel, SweepObs};
+use xsched_core::{
+    CheckpointJournal, CostModel, FaultInjector, FaultPolicy, JournalReplay, SweepObs,
+};
 
 const EXPERIMENTS: &[&str] = &[
     "table1",
@@ -133,6 +135,50 @@ fn main() {
     let timings_sink = (args.timings_out.is_some() || args.metrics_out.is_some())
         .then(|| Arc::new(Mutex::new(Vec::new())));
     let obs = args.metrics_out.as_ref().map(|_| Arc::new(SweepObs::new()));
+    // Fault tolerance: any of these flags switches the executor onto the
+    // guarded path (`FaultPolicy::active`); with all of them at their
+    // defaults sweeps run the legacy unguarded code byte-for-byte.
+    let faults = FaultPolicy {
+        keep_going: args.keep_going,
+        retries: args.retry,
+        backoff_base_secs: 0.01,
+        task_timeout_secs: args.task_timeout,
+        injector: (args.inject_panics > 0.0 || args.inject_stalls > 0.0).then_some(FaultInjector {
+            p_panic: args.inject_panics,
+            p_stall: args.inject_stalls,
+            stall_secs: 0.2,
+        }),
+    };
+    // `--resume` replays the journal then appends new completions to it;
+    // `--checkpoint` alone starts a fresh journal (truncating any old one).
+    let resume = args
+        .resume
+        .then_some(args.checkpoint.as_ref())
+        .flatten()
+        .map(|path| {
+            let replay = JournalReplay::load(path).unwrap_or_else(|e| {
+                eprintln!("error: bad checkpoint journal `{path}`: {e}");
+                std::process::exit(2);
+            });
+            if replay.dropped_partial() > 0 {
+                eprintln!(
+                    "[checkpoint `{path}`: dropped {} partial trailing record(s) from an interrupted write]",
+                    replay.dropped_partial()
+                );
+            }
+            Arc::new(replay)
+        });
+    let journal = args.checkpoint.as_ref().map(|path| {
+        let journal = if args.resume {
+            CheckpointJournal::append(path)
+        } else {
+            CheckpointJournal::create(path)
+        };
+        Arc::new(journal.unwrap_or_else(|e| {
+            eprintln!("error: cannot open checkpoint journal `{path}`: {e}");
+            std::process::exit(2);
+        }))
+    });
     let opts = SweepOpts {
         seeds: args.seeds.clone(),
         threads: args.threads,
@@ -143,6 +189,9 @@ fn main() {
         obs: obs.clone(),
         progress: args.progress,
         subruns: args.subruns,
+        faults,
+        journal,
+        resume,
     };
     let rc = if args.quick { quick_rc() } else { full_rc() };
     // Controller sessions and MPL searches run many inner sims per

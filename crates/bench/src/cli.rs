@@ -91,6 +91,28 @@ pub struct FiguresArgs {
     /// become replication means), so every shard of one sweep — and its
     /// merge — must use the same value.
     pub subruns: u32,
+    /// Degrade failed sweep tasks to marked `FAILED` cells and keep
+    /// sweeping instead of aborting on the first failure.
+    pub keep_going: bool,
+    /// Abort the whole run on the first task failure (the default;
+    /// provided as an explicit escape hatch conflicting with
+    /// `--keep-going`).
+    pub fail_fast: bool,
+    /// Retries per task after a failed attempt (deterministic backoff
+    /// between attempts).
+    pub retry: u32,
+    /// Per-task watchdog deadline in seconds; an attempt running past it
+    /// is abandoned and scored a timeout.
+    pub task_timeout: Option<f64>,
+    /// Checkpoint journal path: every completed task outcome is appended
+    /// (fsync'd) so a killed run can `--resume`.
+    pub checkpoint: Option<String>,
+    /// Resume from the `--checkpoint` journal, skipping journaled tasks.
+    pub resume: bool,
+    /// Fault injection: probability an attempt panics at task start.
+    pub inject_panics: f64,
+    /// Fault injection: probability an attempt stalls at task start.
+    pub inject_stalls: f64,
     /// Calibrate the cost model from a previously dumped timings file.
     pub calibrate: Option<String>,
     /// Shard payload files to merge instead of simulating.
@@ -155,6 +177,40 @@ OPTIONS:
         --no-subruns         force unsplit cells (the default; provided as
                              an explicit escape hatch and conflicting
                              with --subruns)
+        --keep-going         degrade failed sweep tasks (panics, watchdog
+                             timeouts) to marked FAILED cells and keep
+                             sweeping; failed cells render as FAILED in
+                             the tables and carry typed failure records
+                             through shard payloads and merges
+        --fail-fast          abort the whole run on the first task
+                             failure (the default; conflicts with
+                             --keep-going)
+        --retry N            retry each failed task up to N times with
+                             deterministic exponential backoff; a retried
+                             success is bit-identical to a first-try
+                             success (the scenario seed never changes)
+                             [default: 0]
+        --task-timeout SECS  per-task watchdog deadline: an attempt still
+                             running after SECS wall-clock seconds is
+                             abandoned and scored a timeout (then retried
+                             or failed per --retry/--keep-going)
+        --checkpoint FILE    append every completed task outcome to FILE
+                             (fsync'd per task, kill-safe) so an
+                             interrupted run can --resume; without
+                             --resume the file is truncated first
+        --resume             skip tasks already recorded in --checkpoint
+                             (requires it); the finished tables are
+                             byte-identical to an uninterrupted run.
+                             Journaled failures replay as failures —
+                             delete the journal to retry them
+        --inject-panics P    fault injection: panic each task attempt
+                             with probability P, deterministically
+                             derived from (seed, task, attempt) — for
+                             exercising the paths above [default: 0]
+        --inject-stalls P    fault injection: stall each task attempt
+                             (0.2s) with probability P; with a shorter
+                             --task-timeout, a deterministic timeout
+                             [default: 0]
         --calibrate FILE     calibrate the cost model from a --timings
                              or --metrics dump of a previous run
                              (otherwise a structural model predicts from
@@ -285,6 +341,46 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<FiguresArgs, ArgError> {
                 subruns = Some(n);
             }
             "--no-subruns" => no_subruns = true,
+            "--keep-going" => out.keep_going = true,
+            "--fail-fast" => out.fail_fast = true,
+            "--retry" => {
+                let v = value_for(arg)?;
+                out.retry = v.parse().map_err(|_| ArgError::InvalidValue {
+                    flag: arg.to_string(),
+                    value: v,
+                    want: "a retry count ≥ 0",
+                })?;
+            }
+            "--task-timeout" => {
+                let v = value_for(arg)?;
+                let secs: f64 = v.parse().unwrap_or(f64::NAN);
+                if !(secs > 0.0 && secs.is_finite()) {
+                    return Err(ArgError::InvalidValue {
+                        flag: arg.to_string(),
+                        value: v,
+                        want: "a positive deadline in seconds",
+                    });
+                }
+                out.task_timeout = Some(secs);
+            }
+            "--checkpoint" => out.checkpoint = Some(value_for(arg)?),
+            "--resume" => out.resume = true,
+            "--inject-panics" | "--inject-stalls" => {
+                let v = value_for(arg)?;
+                let p: f64 = v.parse().unwrap_or(f64::NAN);
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(ArgError::InvalidValue {
+                        flag: arg.to_string(),
+                        value: v,
+                        want: "a probability in [0, 1]",
+                    });
+                }
+                if arg == "--inject-panics" {
+                    out.inject_panics = p;
+                } else {
+                    out.inject_stalls = p;
+                }
+            }
             "--calibrate" => out.calibrate = Some(value_for(arg)?),
             "--merge" => out
                 .merge
@@ -307,6 +403,16 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<FiguresArgs, ArgError> {
     if subruns.is_some() && no_subruns {
         return Err(ArgError::Conflict(
             "--subruns and --no-subruns are mutually exclusive",
+        ));
+    }
+    if out.keep_going && out.fail_fast {
+        return Err(ArgError::Conflict(
+            "--keep-going and --fail-fast are mutually exclusive",
+        ));
+    }
+    if out.resume && out.checkpoint.is_none() {
+        return Err(ArgError::Conflict(
+            "--resume requires --checkpoint (the journal to resume from)",
         ));
     }
     out.subruns = subruns.unwrap_or(0);
@@ -488,6 +594,67 @@ mod tests {
             parse_args(&["--shard", "1/2", "--merge", "a.txt"]).unwrap_err(),
             ArgError::Conflict("--shard and --merge are mutually exclusive")
         );
+    }
+
+    #[test]
+    fn fault_tolerance_flags_parse() {
+        let a = parse_args(&[
+            "--keep-going",
+            "--retry",
+            "2",
+            "--task-timeout",
+            "1.5",
+            "--inject-panics",
+            "0.3",
+            "--inject-stalls",
+            "0.1",
+            "fig2",
+        ])
+        .unwrap();
+        assert!(a.keep_going && !a.fail_fast);
+        assert_eq!(a.retry, 2);
+        assert_eq!(a.task_timeout, Some(1.5));
+        assert_eq!(a.inject_panics, 0.3);
+        assert_eq!(a.inject_stalls, 0.1);
+        // Defaults: everything off, exactly today's behavior.
+        let d = parse_args::<&str>(&[]).unwrap();
+        assert!(!d.keep_going && !d.fail_fast && !d.resume);
+        assert_eq!((d.retry, d.task_timeout, d.checkpoint), (0, None, None));
+        assert_eq!((d.inject_panics, d.inject_stalls), (0.0, 0.0));
+        // Explicit fail-fast parses alone.
+        assert!(parse_args(&["--fail-fast"]).unwrap().fail_fast);
+        // Bad values are typed.
+        for bad in [
+            vec!["--retry", "x"],
+            vec!["--task-timeout", "0"],
+            vec!["--task-timeout", "-1"],
+            vec!["--task-timeout", "nope"],
+            vec!["--inject-panics", "1.5"],
+            vec!["--inject-stalls", "-0.1"],
+        ] {
+            assert!(
+                matches!(parse_args(&bad).unwrap_err(), ArgError::InvalidValue { .. }),
+                "{bad:?}"
+            );
+        }
+    }
+
+    /// The satellite contract: `--resume` without `--checkpoint` and
+    /// `--keep-going` with `--fail-fast` are typed conflicts.
+    #[test]
+    fn fault_tolerance_conflicts_are_typed() {
+        assert_eq!(
+            parse_args(&["--keep-going", "--fail-fast"]).unwrap_err(),
+            ArgError::Conflict("--keep-going and --fail-fast are mutually exclusive")
+        );
+        assert_eq!(
+            parse_args(&["--resume"]).unwrap_err(),
+            ArgError::Conflict("--resume requires --checkpoint (the journal to resume from)")
+        );
+        // With the journal named, --resume is fine.
+        let a = parse_args(&["--checkpoint", "j.log", "--resume"]).unwrap();
+        assert_eq!(a.checkpoint.as_deref(), Some("j.log"));
+        assert!(a.resume);
     }
 
     #[test]

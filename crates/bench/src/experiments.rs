@@ -12,8 +12,9 @@ use crate::fmt::{f0, f1, f2, f3, ms, table};
 use crate::table::{pivot_table, Col};
 use std::sync::{Arc, Mutex};
 use xsched_core::{
-    ArrivalSpec, BalanceMode, CellTiming, CostModel, ExecSpec, MplSpec, PolicyKind, RunConfig,
-    Scenario, ScenarioResult, ShardResult, SweepExecutor, SweepObs, SweepPlan, Targets,
+    ArrivalSpec, BalanceMode, CellTiming, CheckpointJournal, CostModel, ExecSpec, FaultPolicy,
+    JournalReplay, MplSpec, PolicyKind, RunConfig, Scenario, ScenarioResult, ShardResult,
+    SweepExecutor, SweepObs, SweepPlan, Targets,
 };
 use xsched_dbms::{CpuPolicy, FaultSpec, LockPriorityPolicy, SpikeSpec, StallSpec};
 use xsched_queueing::{flex::FlexServer, mg1, recommend, ClosedNetwork, ThroughputModel, H2};
@@ -139,6 +140,17 @@ pub struct SweepOpts {
     /// default, whose output bytes the goldens pin). Participates in the
     /// plan fingerprint, so shards and merges must agree on it.
     pub subruns: u32,
+    /// Fault tolerance for every executed sweep: panic isolation, retry,
+    /// watchdog, keep-going degradation, fault injection. The default
+    /// policy is inactive — exactly today's fail-fast behavior on the
+    /// executor's unguarded hot path.
+    pub faults: FaultPolicy,
+    /// Checkpoint journal every executed sweep appends completed task
+    /// outcomes to (kill-safe; see `figures --checkpoint`).
+    pub journal: Option<Arc<CheckpointJournal>>,
+    /// Journal replay to resume from: journaled tasks are skipped and
+    /// their outcomes spliced in bit-identically.
+    pub resume: Option<Arc<JournalReplay>>,
 }
 
 impl SweepOpts {
@@ -152,12 +164,19 @@ impl SweepOpts {
         let plan = SweepPlan::new(scenarios).with_seeds(self.seeds.clone());
         let mut executor = SweepExecutor::parallel(self.threads)
             .with_balance(self.balance)
-            .with_progress(self.progress);
+            .with_progress(self.progress)
+            .with_faults(self.faults.clone());
         if let Some(model) = &self.cost_model {
             executor = executor.with_cost_model(Arc::clone(model));
         }
         if let Some(obs) = &self.obs {
             executor = executor.with_obs(Arc::clone(obs));
+        }
+        if let Some(journal) = &self.journal {
+            executor = executor.with_journal(Arc::clone(journal));
+        }
+        if let Some(replay) = &self.resume {
+            executor = executor.with_resume(Arc::clone(replay));
         }
         match &self.mode {
             SweepMode::Run => {

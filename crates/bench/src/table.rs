@@ -11,7 +11,6 @@
 
 use crate::fmt::table;
 use xsched_core::ScenarioResult;
-use xsched_sim::Welford;
 
 /// Formatting function for a scalar cell value.
 pub type Fmt = fn(f64) -> String;
@@ -55,13 +54,25 @@ impl Col {
 
 /// Render one aggregated cell: the replication mean, with `±half-width`
 /// appended when ≥ 2 replications make the Student-t interval finite.
-fn cell(w: Option<&Welford>, fmt: Fmt) -> String {
-    match w {
+///
+/// Failure semantics (keep-going sweeps): a cell whose every replication
+/// failed renders `FAILED`; a cell where some replications failed renders
+/// the surviving mean with a trailing `!` — marked, never silently
+/// averaged away.
+fn cell(r: Option<&ScenarioResult>, metric: &str, fmt: Fmt) -> String {
+    let Some(r) = r else {
+        return "-".to_string();
+    };
+    if !r.failures.is_empty() && r.outcomes.is_empty() {
+        return "FAILED".to_string();
+    }
+    let mark = if r.failures.is_empty() { "" } else { "!" };
+    match r.reps.get(metric) {
         None => "-".to_string(),
-        Some(w) if w.count() < 2 => fmt(w.mean()),
+        Some(w) if w.count() < 2 => format!("{}{mark}", fmt(w.mean())),
         Some(w) => {
             let ci = w.confidence_interval(0.95);
-            format!("{} ±{}", fmt(ci.mean), fmt(ci.half_width))
+            format!("{} ±{}{mark}", fmt(ci.mean), fmt(ci.half_width))
         }
     }
 }
@@ -80,18 +91,17 @@ pub fn pivot_table(stub: &str, results: &[ScenarioResult], cols: &[Col]) -> Stri
         }
     }
 
-    let lookup = |row: &str, col: &Col| -> Option<&Welford> {
+    let lookup = |row: &str, col: &Col| -> Option<&ScenarioResult> {
         results
             .iter()
             .find(|r| r.scenario.row == row && r.scenario.col == col.col)
-            .and_then(|r| r.reps.get(col.metric))
     };
 
     let rows: Vec<Vec<String>> = row_labels
         .iter()
         .map(|row| {
             let mut cells = vec![row.to_string()];
-            cells.extend(cols.iter().map(|c| cell(lookup(row, c), c.fmt)));
+            cells.extend(cols.iter().map(|c| cell(lookup(row, c), c.metric, c.fmt)));
             cells
         })
         .collect();
@@ -105,7 +115,10 @@ pub fn pivot_table(stub: &str, results: &[ScenarioResult], cols: &[Col]) -> Stri
 mod tests {
     use super::*;
     use crate::fmt::f1;
-    use xsched_core::{RunConfig, Scenario, SweepExecutor, SweepPlan};
+    use xsched_core::{
+        FaultInjector, FaultPolicy, RunConfig, Scenario, SweepExecutor, SweepPlan, TaskError,
+        TaskFailure,
+    };
     use xsched_workload::setup;
 
     fn tiny_results(seeds: usize) -> Vec<ScenarioResult> {
@@ -156,5 +169,62 @@ mod tests {
             &[Col::new("MPL 99", "throughput", "MPL 99", f1)],
         );
         assert!(t.lines().nth(2).unwrap().trim().ends_with('-'));
+    }
+
+    #[test]
+    fn fully_failed_cells_render_failed() {
+        let policy = FaultPolicy {
+            keep_going: true,
+            injector: Some(FaultInjector {
+                p_panic: 1.0,
+                p_stall: 0.0,
+                stall_secs: 0.0,
+            }),
+            ..Default::default()
+        };
+        let rc = RunConfig {
+            warmup_txns: 30,
+            measured_txns: 150,
+            ..Default::default()
+        };
+        let scenarios = vec![Scenario::tput("curve", setup(1), 1, rc)];
+        let results = SweepExecutor::serial()
+            .with_faults(policy)
+            .run(&SweepPlan::new(scenarios).replicated(2, 42));
+        let t = pivot_table(
+            "curve",
+            &results,
+            &[Col::new("MPL 1", "throughput", "MPL 1", f1)],
+        );
+        assert!(
+            t.contains("FAILED"),
+            "an all-failures cell must render FAILED, not average nothing:\n{t}"
+        );
+    }
+
+    #[test]
+    fn partially_failed_cells_are_marked() {
+        let mut results = tiny_results(2);
+        results[0].failures.push(TaskFailure {
+            error: TaskError::Timeout(1.0),
+            attempts: 2,
+        });
+        let t = pivot_table(
+            "curve",
+            &results,
+            &[
+                Col::new("MPL 1", "throughput", "MPL 1", f1),
+                Col::new("MPL 5", "throughput", "MPL 5", f1),
+            ],
+        );
+        let row = t.lines().nth(2).unwrap();
+        assert!(
+            row.contains('!'),
+            "a cell with surviving and failed replications must carry `!`:\n{t}"
+        );
+        assert!(
+            !t.contains("FAILED"),
+            "survivors still render a value:\n{t}"
+        );
     }
 }

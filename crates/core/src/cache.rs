@@ -20,6 +20,7 @@
 //! [`Scenario::run`]: crate::scenario::Scenario::run
 
 use crate::driver::{RunConfig, RunResult};
+use crate::fault::relock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -122,16 +123,24 @@ impl MeasurementCache {
     /// The computation happens under a per-key lock: exactly one caller
     /// measures, concurrent callers for the same key block and then share
     /// the result, and callers for *different* keys proceed in parallel.
+    ///
+    /// Poisoning: `measure` runs inside sweep tasks that may panic under
+    /// panic isolation, which poisons the slot lock the measure ran
+    /// under. That is recoverable, not fatal — the slot value is only
+    /// written *after* `measure` returns, so a poisoned slot still holds
+    /// `None` (or a fully-written earlier result) and the next caller
+    /// simply measures again instead of cascading the panic to every
+    /// task sharing the key.
     pub fn get_or_measure(
         &self,
         key: MeasurementKey,
         measure: impl FnOnce() -> RunResult,
     ) -> Arc<RunResult> {
         let slot = {
-            let mut slots = self.slots.lock().unwrap();
+            let mut slots = relock(&self.slots);
             slots.entry(key).or_default().clone()
         };
-        let mut guard = slot.lock().unwrap();
+        let mut guard = relock(&slot);
         if let Some(cached) = guard.as_ref() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(cached);
@@ -154,7 +163,7 @@ impl MeasurementCache {
 
     /// Number of memoized measurements.
     pub fn len(&self) -> usize {
-        self.slots.lock().unwrap().len()
+        relock(&self.slots).len()
     }
 
     /// True when nothing has been memoized yet.
@@ -222,6 +231,23 @@ mod tests {
         });
         assert_eq!(cache.misses(), 1, "per-key lock serializes the measure");
         assert_eq!(cache.hits(), 7);
+    }
+
+    /// A panic inside `measure` (caught by the sweep's panic isolation)
+    /// poisons the slot lock; the next caller for that key must measure
+    /// cleanly instead of cascading the panic.
+    #[test]
+    fn poisoned_slot_recovers_on_the_next_lookup() {
+        let cache = MeasurementCache::new();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_measure(key(3), || panic!("task died mid-measure"));
+        }));
+        assert!(caught.is_err());
+        let result = cache.get_or_measure(key(3), || quick_result(3));
+        let again = cache.get_or_measure(key(3), || panic!("must not re-measure"));
+        assert_eq!(result.throughput.to_bits(), again.throughput.to_bits());
+        // The dead attempt and the recovery attempt each count a miss.
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
     }
 
     #[test]

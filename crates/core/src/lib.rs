@@ -40,13 +40,23 @@
 //! * [`observe`] — [`SweepObs`], the shared observability sink (metrics
 //!   registry, controller telemetry series, embedded timings) behind
 //!   `figures --metrics`; strictly observational, never changes a result
-//!   byte.
+//!   byte;
+//! * [`fault`] — the sweep's fault-tolerance layer: typed
+//!   [`TaskError`]/[`TaskOutcome`], the [`FaultPolicy`] (panic isolation,
+//!   deterministic retry, watchdog deadlines, keep-going degradation) and
+//!   the deterministic [`FaultInjector`] that makes those paths testable;
+//! * [`journal`] — the kill-safe [`CheckpointJournal`]: completed task
+//!   outcomes fsync'd through the shard codec, with truncation-tolerant
+//!   [`JournalReplay`] so `--resume` skips finished work and merges
+//!   byte-identical to an uninterrupted run.
 
 pub mod cache;
 pub mod controller;
 pub mod cost;
 pub mod driver;
+pub mod fault;
 pub mod gate;
+pub mod journal;
 pub mod observe;
 pub mod policy;
 pub mod scenario;
@@ -61,10 +71,14 @@ pub use driver::{
     combine_subruns, ChaosOutcome, ControllerOutcome, Driver, PolicyKind, PriorityOutcome,
     RunConfig, RunResult,
 };
+pub use fault::{
+    relock, FaultInjector, FaultPolicy, InjectedFault, TaskError, TaskFailure, TaskOutcome,
+};
 pub use gate::MplGate;
+pub use journal::{CheckpointJournal, JournalReplay};
 pub use observe::SweepObs;
 pub use policy::{Fifo, PriorityFifo, QueuePolicy, QueuedTxn, Sjf, WeightedFair};
-pub use scenario::{ArrivalSpec, ExecSpec, MplSpec, Scenario, ScenarioOutcome};
+pub use scenario::{ArrivalSpec, ExecSpec, MplSpec, Scenario, ScenarioOutcome, UnitOutcome};
 pub use scheduler::ExternalScheduler;
-pub use shard::ShardResult;
+pub use shard::{DecodeError, ShardResult};
 pub use sweep::{BalanceMode, FoldStats, ScenarioResult, SweepExecutor, SweepPlan};

@@ -15,8 +15,9 @@
 //! the CI on/off byte-diff).
 
 use crate::cost::{encode_timing_cell, CellTiming};
+use crate::fault::relock;
 use std::sync::Mutex;
-use xsched_obs::{ControllerSeries, MetricsRegistry};
+use xsched_obs::{ControllerSeries, MetricsRegistry, RingRecorder, TraceEvent, TraceSink};
 
 /// Shared observability sink for a sweep (or a whole figures run).
 ///
@@ -28,7 +29,14 @@ use xsched_obs::{ControllerSeries, MetricsRegistry};
 pub struct SweepObs {
     registry: MetricsRegistry,
     series: Mutex<Vec<(String, ControllerSeries)>>,
+    task_events: Mutex<RingRecorder>,
 }
+
+/// Most recent task fault events ([`TraceEvent::TaskRetry`] /
+/// [`TraceEvent::TaskFailed`]) retained per sweep — enough to inspect
+/// every failure of any realistic sweep without unbounded growth under
+/// an injector-driven stress run.
+const TASK_EVENT_CAPACITY: usize = 1024;
 
 impl SweepObs {
     /// An empty sink.
@@ -36,7 +44,20 @@ impl SweepObs {
         SweepObs {
             registry: MetricsRegistry::new(),
             series: Mutex::new(Vec::new()),
+            task_events: Mutex::new(RingRecorder::new(TASK_EVENT_CAPACITY)),
         }
+    }
+
+    /// Record one harness-side task fault event (retry / failure). Ring
+    /// buffered: the most recent [`TASK_EVENT_CAPACITY`] events are
+    /// retained.
+    pub fn record_task_event(&self, ev: TraceEvent) {
+        relock(&self.task_events).record(ev);
+    }
+
+    /// Retained task fault events, oldest first.
+    pub fn task_events(&self) -> Vec<TraceEvent> {
+        relock(&self.task_events).iter().copied().collect()
     }
 
     /// The metrics registry executors and binaries record into.
@@ -47,13 +68,13 @@ impl SweepObs {
     /// Store the telemetry series of one controller session, keyed by its
     /// experiment-cell label (row/column/seed).
     pub fn add_controller_series(&self, label: impl Into<String>, series: ControllerSeries) {
-        self.series.lock().unwrap().push((label.into(), series));
+        relock(&self.series).push((label.into(), series));
     }
 
     /// All captured controller series, sorted by cell label so the order
     /// is independent of worker scheduling.
     pub fn controller_series(&self) -> Vec<(String, ControllerSeries)> {
-        let mut all = self.series.lock().unwrap().clone();
+        let mut all = relock(&self.series).clone();
         all.sort_by(|a, b| a.0.cmp(&b.0));
         all
     }
@@ -180,6 +201,36 @@ mod tests {
         assert!(
             snap.contains("\"3 [seed 42]\": [{\"t\": 12.000000"),
             "{snap}"
+        );
+    }
+
+    #[test]
+    fn task_events_ring_records_in_order() {
+        let obs = SweepObs::new();
+        assert!(obs.task_events().is_empty());
+        obs.record_task_event(TraceEvent::TaskRetry {
+            task: 4,
+            attempt: 1,
+        });
+        obs.record_task_event(TraceEvent::TaskFailed {
+            task: 4,
+            attempts: 2,
+        });
+        let events = obs.task_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            events[0],
+            TraceEvent::TaskRetry {
+                task: 4,
+                attempt: 1
+            }
+        );
+        assert_eq!(
+            events[1],
+            TraceEvent::TaskFailed {
+                task: 4,
+                attempts: 2
+            }
         );
     }
 

@@ -307,6 +307,30 @@ impl Scenario {
         )
     }
 
+    /// Execute one work *unit* of this cell: the whole scenario when it
+    /// does not split (`of <= 1`), or sub-run `k` of `of` when it does.
+    /// This is the single dispatch point the sweep executor's guarded
+    /// (fault-tolerant) path runs under `catch_unwind` and the watchdog —
+    /// one function owning "run exactly this unit" keeps the retry loop
+    /// shape-agnostic. Returns the unit's outcome plus reference-compute
+    /// seconds (see [`Scenario::run_timed`]).
+    pub fn run_unit(
+        &self,
+        seed: u64,
+        k: u32,
+        of: u32,
+        cache: Option<&Arc<MeasurementCache>>,
+        obs: Option<&SweepObs>,
+    ) -> (UnitOutcome, f64) {
+        if of <= 1 {
+            let (outcome, ref_secs) = self.run_timed(seed, cache, obs);
+            (UnitOutcome::Whole(outcome), ref_secs)
+        } else {
+            let (result, ref_secs) = self.run_subrun(seed, k, of, cache);
+            (UnitOutcome::Part(result), ref_secs)
+        }
+    }
+
     /// This cell's label in telemetry documents: row, column (when the
     /// table has one), and the replication seed.
     pub fn cell_label(&self, seed: u64) -> String {
@@ -316,6 +340,16 @@ impl Scenario {
             format!("{} / {} [seed {seed}]", self.row, self.col)
         }
     }
+}
+
+/// What one executed work unit produced: a whole cell's outcome, or one
+/// sub-run's slice of a split cell (see [`Scenario::run_unit`]).
+#[derive(Debug, Clone)]
+pub enum UnitOutcome {
+    /// The unit was the entire cell.
+    Whole(ScenarioOutcome),
+    /// The unit was one sub-run of a split cell.
+    Part(RunResult),
 }
 
 /// The measured outcome of one scenario replication.

@@ -17,10 +17,54 @@
 
 use crate::controller::IterationRecord;
 use crate::driver::{ChaosOutcome, ControllerOutcome, PriorityOutcome, RunResult};
+use crate::fault::{TaskError, TaskFailure};
 use crate::scenario::ScenarioOutcome;
 use crate::sweep::{assemble, ScenarioResult, SweepPlan};
 use serde::Serialize;
+use std::fmt;
 use xsched_dbms::DbmsMetrics;
+
+/// A typed decode failure: which line of the payload was malformed, the
+/// offending text, and what went wrong — so a bad byte in a multi-payload
+/// stream (or a checkpoint journal) is locatable instead of a bare
+/// `format!` string that lost its position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// 1-based line number within the decoded text (0 when the failure
+    /// has no line, e.g. an empty payload).
+    pub line: usize,
+    /// The offending line, truncated for display.
+    pub context: String,
+    /// What was wrong with it.
+    pub msg: String,
+}
+
+impl DecodeError {
+    pub(crate) fn at(line: usize, context: &str, msg: impl Into<String>) -> DecodeError {
+        let mut context = context.to_string();
+        if context.len() > 96 {
+            context.truncate(93);
+            context.push_str("...");
+        }
+        DecodeError {
+            line,
+            context,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.msg)
+        } else {
+            write!(f, "line {}: {} (`{}`)", self.line, self.msg, self.context)
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
 
 /// The slot-indexed outcomes of one shard of a sweep.
 #[derive(Debug, Clone, Serialize)]
@@ -36,6 +80,12 @@ pub struct ShardResult {
     pub task_count: usize,
     /// `(global task index, outcome)` pairs for this shard's slice.
     pub entries: Vec<(usize, ScenarioOutcome)>,
+    /// `(global task index, failure)` pairs for tasks this shard ran but
+    /// could not complete under `--keep-going`: the cell is *covered*
+    /// (merge treats it like an entry for partition accounting) but
+    /// carries a typed [`TaskFailure`] instead of an outcome. Empty on
+    /// every fail-fast run.
+    pub failures: Vec<(usize, TaskFailure)>,
     /// `(global task index, wall-clock seconds)` telemetry for the tasks
     /// this shard executed. Observational only: it rides the wire format
     /// as an optional trailing section and never participates in merge
@@ -67,6 +117,7 @@ impl ShardResult {
         let fp = plan.fingerprint();
         let task_count = plan.task_count();
         let mut entries: Vec<(usize, ScenarioOutcome)> = Vec::with_capacity(task_count);
+        let mut failures: Vec<(usize, TaskFailure)> = Vec::new();
         let mut seen = vec![false; task_count];
         for shard in shards {
             if shard.plan_fingerprint != fp {
@@ -82,15 +133,26 @@ impl ShardResult {
                     shard.shard, shard.of, shard.task_count
                 ));
             }
-            for (t, outcome) in &shard.entries {
-                if *t >= task_count {
+            // A failed task still *covers* its index: the shard ran it
+            // and is reporting a typed failure, so partition accounting
+            // treats entries and failures identically.
+            let mut claim = |t: usize| -> Result<(), String> {
+                if t >= task_count {
                     return Err(format!("task index {t} out of range for {task_count}"));
                 }
-                if seen[*t] {
+                if seen[t] {
                     return Err(format!("task {t} appears in more than one shard"));
                 }
-                seen[*t] = true;
+                seen[t] = true;
+                Ok(())
+            };
+            for (t, outcome) in &shard.entries {
+                claim(*t)?;
                 entries.push((*t, outcome.clone()));
+            }
+            for (t, failure) in &shard.failures {
+                claim(*t)?;
+                failures.push((*t, failure.clone()));
             }
         }
         if let Some(missing) = seen.iter().position(|covered| !covered) {
@@ -98,14 +160,14 @@ impl ShardResult {
                 "incomplete partition: task {missing} is covered by no shard"
             ));
         }
-        Ok(assemble(plan, entries))
+        Ok(assemble(plan, entries, failures))
     }
 
     /// Aggregate just this shard's slice of `plan` (cells the shard did
     /// not execute simply have no replications). Useful for previewing a
     /// shard's share; the real tables come from [`ShardResult::merge`].
     pub fn partial_results(&self, plan: &SweepPlan) -> Vec<ScenarioResult> {
-        assemble(plan, self.entries.clone())
+        assemble(plan, self.entries.clone(), self.failures.clone())
     }
 
     /// Serialize to the plain-text wire format (one header line, one line
@@ -125,6 +187,9 @@ impl ShardResult {
         for (t, outcome) in &self.entries {
             out.push_str(&format!("{t} {}\n", encode_outcome(outcome)));
         }
+        for (t, failure) in &self.failures {
+            out.push_str(&format!("failed {t} {}\n", encode_failure(failure)));
+        }
         for (t, secs) in &self.timings {
             out.push_str(&format!("timing {t} {}\n", fh(*secs)));
         }
@@ -134,13 +199,30 @@ impl ShardResult {
         out
     }
 
-    /// Parse one payload produced by [`ShardResult::encode`].
-    pub fn decode(text: &str) -> Result<ShardResult, String> {
-        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
-        let header = lines.next().ok_or("empty shard payload")?;
+    /// Parse one payload produced by [`ShardResult::encode`]. Errors
+    /// carry the 1-based line number and the offending line.
+    pub fn decode(text: &str) -> Result<ShardResult, DecodeError> {
+        let lines: Vec<(usize, &str)> = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l))
+            .filter(|(_, l)| !l.trim().is_empty())
+            .collect();
+        Self::decode_lines(&lines)
+    }
+
+    /// Decode from pre-filtered `(original line number, line)` pairs —
+    /// the shared core of [`ShardResult::decode`] and [`decode_payloads`]
+    /// that lets errors report positions in the *original* stream even
+    /// after comment/blank stripping and payload splitting.
+    fn decode_lines(lines: &[(usize, &str)]) -> Result<ShardResult, DecodeError> {
+        let &(header_no, header) = lines
+            .first()
+            .ok_or_else(|| DecodeError::at(0, "", "empty shard payload"))?;
+        let herr = |msg: String| DecodeError::at(header_no, header, msg);
         let mut fields = header.split_whitespace();
         if (fields.next(), fields.next()) != (Some("xsched-shard"), Some("v1")) {
-            return Err(format!("not a v1 shard payload: `{header}`"));
+            return Err(herr(format!("not a v1 shard payload: `{header}`")));
         }
         let mut get = |name: &str| -> Result<String, String> {
             let tok = fields
@@ -150,47 +232,61 @@ impl ShardResult {
                 .map(str::to_string)
                 .ok_or_else(|| format!("expected `{name}=…`, got `{tok}`"))
         };
-        let plan_fingerprint = u64::from_str_radix(&get("plan")?, 16)
-            .map_err(|e| format!("bad plan fingerprint: {e}"))?;
+        let plan_fingerprint = u64::from_str_radix(&get("plan").map_err(&herr)?, 16)
+            .map_err(|e| herr(format!("bad plan fingerprint: {e}")))?;
         let parse = |s: String| s.parse::<usize>().map_err(|e| format!("bad header: {e}"));
-        let task_count = parse(get("tasks")?)?;
-        let shard = parse(get("shard")?)?;
-        let of = parse(get("of")?)?;
-        let entries_len = parse(get("entries")?)?;
+        let task_count = parse(get("tasks").map_err(&herr)?).map_err(&herr)?;
+        let shard = parse(get("shard").map_err(&herr)?).map_err(&herr)?;
+        let of = parse(get("of").map_err(&herr)?).map_err(&herr)?;
+        let entries_len = parse(get("entries").map_err(&herr)?).map_err(&herr)?;
 
         let mut entries = Vec::with_capacity(entries_len);
+        let mut failures = Vec::new();
         let mut timings = Vec::new();
         let mut ref_timings = Vec::new();
-        let parse_timing = |line: &str, rest: &str| -> Result<(usize, f64), String> {
+        let parse_timing = |rest: &str| -> Result<(usize, f64), String> {
             let (idx, bits) = rest
                 .split_once(' ')
-                .ok_or_else(|| format!("malformed timing line `{line}`"))?;
+                .ok_or_else(|| "malformed timing line".to_string())?;
             let t: usize = idx.parse().map_err(|e| format!("bad timing index: {e}"))?;
             let secs = u64::from_str_radix(bits, 16)
                 .map(f64::from_bits)
                 .map_err(|e| format!("bad timing bits `{bits}`: {e}"))?;
             Ok((t, secs))
         };
-        for line in lines {
+        for &(no, line) in &lines[1..] {
+            let fail = |msg: String| DecodeError::at(no, line, msg);
             if let Some(rest) = line.strip_prefix("timing ") {
-                timings.push(parse_timing(line, rest)?);
+                timings.push(parse_timing(rest).map_err(&fail)?);
                 continue;
             }
             if let Some(rest) = line.strip_prefix("reftiming ") {
-                ref_timings.push(parse_timing(line, rest)?);
+                ref_timings.push(parse_timing(rest).map_err(&fail)?);
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("failed ") {
+                let (idx, spec) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| fail("malformed failed line".to_string()))?;
+                let t: usize = idx
+                    .parse()
+                    .map_err(|e| fail(format!("bad task index: {e}")))?;
+                failures.push((t, decode_failure(spec).map_err(&fail)?));
                 continue;
             }
             let (idx, rest) = line
                 .split_once(' ')
-                .ok_or_else(|| format!("malformed entry line `{line}`"))?;
-            let t: usize = idx.parse().map_err(|e| format!("bad task index: {e}"))?;
-            entries.push((t, decode_outcome(rest)?));
+                .ok_or_else(|| fail("malformed entry line".to_string()))?;
+            let t: usize = idx
+                .parse()
+                .map_err(|e| fail(format!("bad task index: {e}")))?;
+            entries.push((t, decode_outcome(rest).map_err(&fail)?));
         }
         if entries.len() != entries_len {
-            return Err(format!(
+            return Err(herr(format!(
                 "payload advertises {entries_len} entries but carries {}",
                 entries.len()
-            ));
+            )));
         }
         Ok(ShardResult {
             shard,
@@ -198,6 +294,7 @@ impl ShardResult {
             plan_fingerprint,
             task_count,
             entries,
+            failures,
             timings,
             ref_timings,
         })
@@ -206,22 +303,22 @@ impl ShardResult {
 
 /// Split a text stream into individual shard payloads (a file may carry
 /// several, e.g. one per experiment); `#`-prefixed lines are comments.
-pub fn decode_payloads(text: &str) -> Result<Vec<ShardResult>, String> {
+/// Decode errors report line numbers relative to the original stream.
+pub fn decode_payloads(text: &str) -> Result<Vec<ShardResult>, DecodeError> {
     let mut payloads = Vec::new();
-    let mut current = String::new();
-    for line in text.lines() {
+    let mut current: Vec<(usize, &str)> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
         if line.starts_with('#') || line.trim().is_empty() {
             continue;
         }
         if line.starts_with("xsched-shard ") && !current.is_empty() {
-            payloads.push(ShardResult::decode(&current)?);
+            payloads.push(ShardResult::decode_lines(&current)?);
             current.clear();
         }
-        current.push_str(line);
-        current.push('\n');
+        current.push((i + 1, line));
     }
     if !current.is_empty() {
-        payloads.push(ShardResult::decode(&current)?);
+        payloads.push(ShardResult::decode_lines(&current)?);
     }
     Ok(payloads)
 }
@@ -515,6 +612,78 @@ pub fn decode_outcome(line: &str) -> Result<ScenarioOutcome, String> {
     }
 }
 
+/// Encode a [`TaskFailure`] as wire tokens: `<attempts> <kind> <detail>`.
+/// Panic/injected messages are percent-escaped into a single token so
+/// arbitrary text (spaces, newlines, non-ASCII) survives the line-based
+/// format; timeout deadlines travel as IEEE bits like every other float.
+pub fn encode_failure(f: &TaskFailure) -> String {
+    match &f.error {
+        TaskError::Panic(msg) => format!("{} panic {}", f.attempts, esc(msg)),
+        TaskError::Timeout(limit) => format!("{} timeout {}", f.attempts, fh(*limit)),
+        TaskError::Injected(what) => format!("{} injected {}", f.attempts, esc(what)),
+    }
+}
+
+/// Decode the tokens produced by [`encode_failure`].
+pub fn decode_failure(s: &str) -> Result<TaskFailure, String> {
+    let mut t = Tokens(s.split_whitespace());
+    let attempts: u32 = t.int()?;
+    let kind = t.next()?.to_string();
+    let detail = t.next()?.to_string();
+    let error = match kind.as_str() {
+        "panic" => TaskError::Panic(unesc(&detail)?),
+        "timeout" => TaskError::Timeout(
+            u64::from_str_radix(&detail, 16)
+                .map(f64::from_bits)
+                .map_err(|e| format!("bad timeout bits `{detail}`: {e}"))?,
+        ),
+        "injected" => TaskError::Injected(unesc(&detail)?),
+        other => return Err(format!("unknown failure kind `{other}`")),
+    };
+    Ok(TaskFailure { error, attempts })
+}
+
+/// Percent-escape arbitrary text into one whitespace-free token. The
+/// empty string encodes as a lone `%` (never produced otherwise, since a
+/// real escape is always `%` + two hex digits).
+fn esc(s: &str) -> String {
+    if s.is_empty() {
+        return "%".to_string();
+    }
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        if b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-' | b':' | b'/') {
+            out.push(b as char);
+        } else {
+            out.push_str(&format!("%{b:02x}"));
+        }
+    }
+    out
+}
+
+/// Invert [`esc`].
+fn unesc(s: &str) -> Result<String, String> {
+    if s == "%" {
+        return Ok(String::new());
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = s
+                .get(i + 1..i + 3)
+                .ok_or_else(|| format!("truncated escape in `{s}`"))?;
+            out.push(u8::from_str_radix(hex, 16).map_err(|e| format!("bad escape `%{hex}`: {e}"))?);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).map_err(|e| format!("escaped text is not UTF-8: {e}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -661,6 +830,120 @@ mod tests {
         let merged = ShardResult::merge(&plan, &decoded).unwrap();
         let direct = SweepExecutor::serial().run(&plan);
         assert_eq!(outcome_bits(&direct), outcome_bits(&merged));
+    }
+
+    #[test]
+    fn failures_round_trip_through_the_codec() {
+        let cases = [
+            TaskFailure {
+                error: TaskError::Panic("index out of bounds: the len is 3".to_string()),
+                attempts: 3,
+            },
+            TaskFailure {
+                error: TaskError::Panic(String::new()),
+                attempts: 1,
+            },
+            TaskFailure {
+                error: TaskError::Panic("smörgåsbord\n% weird %%".to_string()),
+                attempts: 2,
+            },
+            TaskFailure {
+                error: TaskError::Timeout(1.5),
+                attempts: 4,
+            },
+            TaskFailure {
+                error: TaskError::Injected("panic".to_string()),
+                attempts: 1,
+            },
+        ];
+        for f in &cases {
+            let spec = encode_failure(f);
+            assert!(
+                spec.split_whitespace().count() == 3,
+                "failure must encode as exactly three tokens: `{spec}`"
+            );
+            assert_eq!(&decode_failure(&spec).unwrap(), f, "{spec}");
+        }
+    }
+
+    #[test]
+    fn shard_with_failures_round_trips_and_merges() {
+        let plan = tiny_plan();
+        let mut s0 = SweepExecutor::serial().run_shard(&plan, 0, 2);
+        let mut s1 = SweepExecutor::serial().run_shard(&plan, 1, 2);
+        // Move one of s1's tasks into the failed set, as a keep-going
+        // run with a panicking cell would report it.
+        let (t, _) = s1.entries.pop().unwrap();
+        s1.failures.push((
+            t,
+            TaskFailure {
+                error: TaskError::Panic("boom at task".to_string()),
+                attempts: 2,
+            },
+        ));
+        let decoded = ShardResult::decode(&s1.encode()).unwrap();
+        assert_eq!(decoded.failures, s1.failures);
+        assert_eq!(decoded.entries.len(), s1.entries.len());
+        // A failed task covers its index: the merge accepts the
+        // partition and surfaces the failure on the right cell.
+        let merged = ShardResult::merge(&plan, [&s0, &decoded]).unwrap();
+        let failed: Vec<&TaskFailure> = merged.iter().flat_map(|r| r.failures.iter()).collect();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(
+            failed[0].error,
+            TaskError::Panic("boom at task".to_string())
+        );
+        // But a task reported as BOTH an outcome and a failure is a
+        // duplicate, same as appearing in two shards.
+        s0.failures.push((
+            s0.entries[0].0,
+            TaskFailure {
+                error: TaskError::Timeout(0.5),
+                attempts: 1,
+            },
+        ));
+        let err = ShardResult::merge(&plan, [&s0, &s1]).unwrap_err();
+        assert!(err.contains("more than one shard"), "{err}");
+    }
+
+    #[test]
+    fn decode_errors_carry_line_numbers_and_context() {
+        let plan = tiny_plan();
+        let shard = SweepExecutor::serial().run_shard(&plan, 0, 1);
+        let good = shard.encode();
+
+        // Corrupt one entry line: the error names that exact line.
+        let mut lines: Vec<String> = good.lines().map(str::to_string).collect();
+        lines[2] = "4 R not-hex-bits".to_string();
+        let err = ShardResult::decode(&lines.join("\n")).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.context.starts_with("4 R not-hex"), "{err}");
+        assert!(err.to_string().contains("line 3"), "{err}");
+
+        // Header errors point at line 1.
+        let err = ShardResult::decode("xsched-shard v1 plan=zzzz tasks=1 shard=0 of=1 entries=0")
+            .unwrap_err();
+        assert_eq!(err.line, 1);
+
+        // Empty payloads have no line to blame.
+        let err = ShardResult::decode("").unwrap_err();
+        assert_eq!(err.line, 0);
+        assert_eq!(err.to_string(), "empty shard payload");
+
+        // In a multi-payload stream with comments and blanks, the line
+        // number is absolute within the original stream.
+        let s1 = SweepExecutor::serial().run_shard(&plan, 1, 2).encode();
+        let mut s0 = SweepExecutor::serial().run_shard(&plan, 0, 2).encode();
+        s0.push_str("garbage-entry-line\n");
+        let stream = format!("# comment\n\n{s1}\n# between\n{s0}");
+        let err = decode_payloads(&stream).unwrap_err();
+        let expected_line = stream
+            .lines()
+            .position(|l| l == "garbage-entry-line")
+            .unwrap()
+            + 1;
+        assert_eq!(err.line, expected_line, "{err}");
+        assert_eq!(err.context, "garbage-entry-line");
     }
 
     #[test]

@@ -13,14 +13,21 @@
 use crate::cache::MeasurementCache;
 use crate::cost::CostModel;
 use crate::driver::{combine_subruns, RunResult};
+use crate::fault::{
+    classify_panic, relock, FaultPolicy, InjectedFault, InjectedPanic, TaskError, TaskFailure,
+    TaskOutcome,
+};
+use crate::journal::{CheckpointJournal, JournalReplay};
 use crate::observe::SweepObs;
-use crate::scenario::{Scenario, ScenarioOutcome};
+use crate::scenario::{Scenario, ScenarioOutcome, UnitOutcome};
 use crate::shard::ShardResult;
 use serde::Serialize;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+use xsched_obs::TraceEvent;
 use xsched_sim::{ConfidenceInterval, Replications};
 
 /// How a sweep's task grid is sliced into shards.
@@ -211,9 +218,14 @@ impl SweepPlan {
 pub struct ScenarioResult {
     /// The scenario that produced these outcomes.
     pub scenario: Scenario,
-    /// One outcome per plan seed, in seed order.
+    /// One outcome per *successful* plan seed, in seed order. Without
+    /// fault tolerance engaged this is every seed.
     pub outcomes: Vec<ScenarioOutcome>,
-    /// Per-metric aggregates over the replications.
+    /// Failure records for replications that failed every attempt under
+    /// keep-going mode, in seed order. Empty on fail-fast runs (those
+    /// abort instead).
+    pub failures: Vec<TaskFailure>,
+    /// Per-metric aggregates over the successful replications.
     pub reps: Replications,
 }
 
@@ -244,6 +256,9 @@ pub struct SweepExecutor {
     balance: BalanceMode,
     obs: Option<Arc<SweepObs>>,
     progress: bool,
+    faults: FaultPolicy,
+    journal: Option<Arc<CheckpointJournal>>,
+    resume: Option<Arc<JournalReplay>>,
 }
 
 impl SweepExecutor {
@@ -256,6 +271,9 @@ impl SweepExecutor {
             balance: BalanceMode::Stride,
             obs: None,
             progress: false,
+            faults: FaultPolicy::default(),
+            journal: None,
+            resume: None,
         }
     }
 
@@ -313,6 +331,42 @@ impl SweepExecutor {
         self
     }
 
+    /// Engage fault tolerance: per-unit panic isolation, deterministic
+    /// retry with backoff, an optional watchdog deadline, keep-going
+    /// degradation and/or deterministic fault injection (see
+    /// [`FaultPolicy`]). The default policy is inactive and the executor
+    /// then runs its exact legacy path — no `catch_unwind`, no monitor
+    /// thread — so the fault-tolerance-disabled hot path stays inside
+    /// the bench regression band.
+    ///
+    /// Determinism: tasks re-run under their unchanged scenario seed, so
+    /// any outcome that eventually succeeds is bit-identical to a
+    /// first-try success whatever the retry count.
+    pub fn with_faults(mut self, faults: FaultPolicy) -> SweepExecutor {
+        self.faults = faults;
+        self
+    }
+
+    /// Durably record every completed task outcome into `journal` (one
+    /// fsync'd append per task) so a killed sweep can resume. The
+    /// executor writes the plan's header itself at the start of each
+    /// [`SweepExecutor::run_shard`].
+    pub fn with_journal(mut self, journal: Arc<CheckpointJournal>) -> SweepExecutor {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Skip tasks whose outcome `replay` already holds (matched by plan
+    /// fingerprint + task index), splicing the journaled outcomes into
+    /// their slots — the merge is byte-identical to an uninterrupted run
+    /// because journaled outcomes travel through the same bit-exact
+    /// codec as shard payloads. Resumed tasks contribute no timing
+    /// telemetry (they cost no wall-clock this run).
+    pub fn with_resume(mut self, replay: Arc<JournalReplay>) -> SweepExecutor {
+        self.resume = Some(replay);
+        self
+    }
+
     /// Worker count this executor will use.
     pub fn threads(&self) -> usize {
         self.threads
@@ -329,7 +383,7 @@ impl SweepExecutor {
     /// `tests/props.rs` additionally pin `merge(shards) ≡ run` bitwise).
     pub fn run(&self, plan: &SweepPlan) -> Vec<ScenarioResult> {
         let full = self.run_shard(plan, 0, 1);
-        assemble(plan, full.entries)
+        assemble(plan, full.entries, full.failures)
     }
 
     /// Execute shard `index` of `of` — the strided slice
@@ -346,6 +400,7 @@ impl SweepExecutor {
     /// thread count) never changes a result byte.
     pub fn run_shard(&self, plan: &SweepPlan, index: usize, of: usize) -> ShardResult {
         let tasks = plan.tasks();
+        let fp = plan.fingerprint();
         let mine = match self.balance {
             BalanceMode::Stride => plan.shard(index, of),
             BalanceMode::Cost => plan.shard_balanced(index, of, &self.cost_model),
@@ -381,8 +436,47 @@ impl SweepExecutor {
             .iter()
             .map(|&t| plan.scenarios[tasks[t].0].subrun_count())
             .collect();
+
+        let slots: Vec<Mutex<Option<(TaskOutcome, f64, f64)>>> =
+            mine.iter().map(|_| Mutex::new(None)).collect();
+
+        let obs = self.obs.as_deref();
+
+        // Resume: splice journaled outcomes (successes *and* failures —
+        // delete the journal to retry failed cells) into their slots and
+        // skip their units entirely. Journaled outcomes travel the same
+        // bit-exact codec as shard payloads, so a resumed merge is
+        // byte-identical to an uninterrupted run; resumed cells cost no
+        // wall-clock here, so they contribute no timing telemetry.
+        let mut resumed = vec![false; mine.len()];
+        if let Some(replay) = &self.resume {
+            for (pos, &t) in mine.iter().enumerate() {
+                if let Some(outcome) = replay.outcome(fp, t) {
+                    *relock(&slots[pos]) = Some((outcome.clone(), 0.0, 0.0));
+                    resumed[pos] = true;
+                }
+            }
+            let skipped = resumed.iter().filter(|&&r| r).count();
+            if skipped > 0 {
+                eprintln!(
+                    "[sweep] resume: skipped {skipped}/{} journaled tasks (shard {index}/{of})",
+                    mine.len()
+                );
+                if let Some(obs) = obs {
+                    obs.registry()
+                        .counter_add("sweep.tasks_resumed", skipped as u64);
+                }
+            }
+        }
+        if let Some(journal) = &self.journal {
+            journal
+                .begin_sweep(fp, tasks.len())
+                .expect("checkpoint journal write failed");
+        }
+
         let units: Vec<(usize, u32)> = claim
             .iter()
+            .filter(|&&pos| !resumed[pos])
             .flat_map(|&pos| (0..subs[pos]).map(move |k| (pos, k)))
             .collect();
         let accs: Vec<Mutex<SubAcc>> = subs
@@ -390,22 +484,36 @@ impl SweepExecutor {
             .map(|&n| Mutex::new(SubAcc::new(n as usize)))
             .collect();
 
-        let slots: Vec<Mutex<Option<(ScenarioOutcome, f64, f64)>>> =
-            mine.iter().map(|_| Mutex::new(None)).collect();
-
-        let obs = self.obs.as_deref();
         let hits_before = cache.hits();
         let misses_before = cache.misses();
-        let total = mine.len();
+        let total = mine.len() - resumed.iter().filter(|&&r| r).count();
         let done = AtomicUsize::new(0);
+        // Fail-fast abort latch for the guarded path: once a task has
+        // exhausted its attempts, other workers stop claiming new units
+        // so the failure propagates promptly.
+        let abort = AtomicBool::new(false);
         // Cell-completion bookkeeping, shared by both unit shapes. The
         // telemetry counts *cells* (the plan's task unit), credited to
         // the worker that finished the cell, so `sweep.tasks_done` and
         // the per-worker counters still sum to the task count whatever
         // the sub-run fan-out.
         let finish_cell =
-            |pos: usize, outcome: ScenarioOutcome, secs: f64, ref_secs: f64, worker: usize| {
-                *slots[pos].lock().unwrap() = Some((outcome, secs, ref_secs));
+            |pos: usize, outcome: TaskOutcome, secs: f64, ref_secs: f64, worker: usize| {
+                if let Some(journal) = &self.journal {
+                    journal
+                        .record(mine[pos], &outcome)
+                        .expect("checkpoint journal write failed");
+                }
+                if let TaskOutcome::Failed(failure) = &outcome {
+                    if let Some(obs) = obs {
+                        obs.registry().counter_add("sweep.task_failures", 1);
+                        obs.record_task_event(TraceEvent::TaskFailed {
+                            task: mine[pos] as u64,
+                            attempts: failure.attempts,
+                        });
+                    }
+                }
+                *relock(&slots[pos]) = Some((outcome, secs, ref_secs));
                 let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                 if let Some(obs) = obs {
                     let r = obs.registry();
@@ -421,24 +529,52 @@ impl SweepExecutor {
                     );
                 }
             };
+        // One unit of work. With the fault policy inactive this is the
+        // exact legacy path — `Scenario::run_unit` called inline, no
+        // `catch_unwind`, no monitor thread — so the disabled hot path
+        // stays inside the bench regression band. With it active every
+        // attempt runs guarded (panic isolation, watchdog, retry); a
+        // fail-fast failure latches `abort` and re-raises, a keep-going
+        // failure degrades the cell to [`TaskOutcome::Failed`].
         let run_unit = |pos: usize, k: u32, worker: usize| {
-            let (si, seed) = tasks[mine[pos]];
+            let t = mine[pos];
+            let (si, seed) = tasks[t];
             let scenario = &plan.scenarios[si];
             let started = Instant::now();
-            if subs[pos] <= 1 {
-                let (outcome, ref_secs) = scenario.run_timed(seed, Some(&cache), obs);
-                finish_cell(
-                    pos,
-                    outcome,
-                    started.elapsed().as_secs_f64(),
-                    ref_secs,
-                    worker,
-                );
+            let result: Result<(UnitOutcome, f64), TaskFailure> = if self.faults.active() {
+                self.run_unit_guarded(scenario, t, seed, k, subs[pos], &cache)
             } else {
-                let (part, ref_secs) = scenario.run_subrun(seed, k, subs[pos], Some(&cache));
-                let secs = started.elapsed().as_secs_f64();
+                Ok(scenario.run_unit(seed, k, subs[pos], Some(&cache), obs))
+            };
+            let secs = started.elapsed().as_secs_f64();
+            if let Err(failure) = &result {
+                if !self.faults.keep_going {
+                    abort.store(true, Ordering::Relaxed);
+                    panic!("sweep task {t} failed: {failure}");
+                }
+            }
+            if subs[pos] <= 1 {
+                match result {
+                    Ok((unit, ref_secs)) => {
+                        let UnitOutcome::Whole(outcome) = unit else {
+                            unreachable!("an unsplit cell always yields a whole outcome");
+                        };
+                        finish_cell(pos, TaskOutcome::Ok(outcome), secs, ref_secs, worker);
+                    }
+                    Err(failure) => {
+                        finish_cell(pos, TaskOutcome::Failed(failure), secs, 0.0, worker);
+                    }
+                }
+            } else {
+                let (part, ref_secs) = match result {
+                    Ok((UnitOutcome::Part(part), ref_secs)) => (Ok(part), ref_secs),
+                    Ok((UnitOutcome::Whole(_), _)) => {
+                        unreachable!("a split cell always yields sub-run parts")
+                    }
+                    Err(failure) => (Err(failure), 0.0),
+                };
                 let completed = {
-                    let mut acc = accs[pos].lock().unwrap();
+                    let mut acc = relock(&accs[pos]);
                     acc.parts[k as usize] = Some(part);
                     acc.secs += secs;
                     acc.ref_secs += ref_secs;
@@ -447,17 +583,24 @@ impl SweepExecutor {
                         .then(|| (std::mem::take(&mut acc.parts), acc.secs, acc.ref_secs))
                 };
                 if let Some((parts, secs, ref_secs)) = completed {
-                    let parts: Vec<crate::driver::RunResult> = parts
-                        .into_iter()
-                        .map(|p| p.expect("every sub-run lands before the combine"))
-                        .collect();
-                    finish_cell(
-                        pos,
-                        ScenarioOutcome::Run(combine_subruns(&parts)),
-                        secs,
-                        ref_secs,
-                        worker,
-                    );
+                    // Every unit has landed. If any failed, the cell
+                    // fails with the lowest-k failure — deterministic in
+                    // the unit grid, not in worker scheduling.
+                    let mut results = Vec::with_capacity(parts.len());
+                    let mut failure = None;
+                    for part in parts {
+                        match part.expect("every sub-run lands before the combine") {
+                            Ok(r) => results.push(r),
+                            Err(f) => {
+                                failure.get_or_insert(f);
+                            }
+                        }
+                    }
+                    let outcome = match failure {
+                        None => TaskOutcome::Ok(ScenarioOutcome::Run(combine_subruns(&results))),
+                        Some(f) => TaskOutcome::Failed(f),
+                    };
+                    finish_cell(pos, outcome, secs, ref_secs, worker);
                 }
             }
         };
@@ -474,7 +617,11 @@ impl SweepExecutor {
                     let next = &next;
                     let units = &units;
                     let run_unit = &run_unit;
+                    let abort = &abort;
                     scope.spawn(move || loop {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(&(pos, k)) = units.get(i) else {
                             break;
@@ -498,20 +645,28 @@ impl SweepExecutor {
             );
             let actual: f64 = slots
                 .iter()
-                .map(|s| s.lock().unwrap().as_ref().map_or(0.0, |(_, secs, _)| *secs))
+                .map(|s| relock(s).as_ref().map_or(0.0, |(_, secs, _)| *secs))
                 .sum();
             r.gauge_add(&format!("sweep.shard{index}.actual_secs"), actual);
         }
 
         let mut entries = Vec::with_capacity(mine.len());
+        let mut failures = Vec::new();
         let mut timings = Vec::with_capacity(mine.len());
         let mut ref_timings = Vec::new();
-        for (t, slot) in mine.into_iter().zip(slots) {
+        for (i, (t, slot)) in mine.into_iter().zip(slots).enumerate() {
             let (outcome, secs, ref_secs) = slot
                 .into_inner()
-                .unwrap()
+                .unwrap_or_else(PoisonError::into_inner)
                 .expect("every sweep task produces an outcome");
-            entries.push((t, outcome));
+            match outcome {
+                TaskOutcome::Ok(outcome) => entries.push((t, outcome)),
+                TaskOutcome::Failed(failure) => failures.push((t, failure)),
+            }
+            // Resumed cells cost no wall-clock this run: no timing lines.
+            if resumed[i] {
+                continue;
+            }
             timings.push((t, secs));
             if ref_secs > 0.0 {
                 ref_timings.push((t, ref_secs));
@@ -523,8 +678,113 @@ impl SweepExecutor {
             plan_fingerprint: plan.fingerprint(),
             task_count: tasks.len(),
             entries,
+            failures,
             timings,
             ref_timings,
+        }
+    }
+
+    /// Run one task unit under the engaged fault policy: up to
+    /// `1 + retries` guarded attempts with deterministic backoff between
+    /// them. Returns the unit's outcome plus its reference-run seconds,
+    /// or the final attempt's failure once the budget is exhausted.
+    ///
+    /// Determinism: the scenario re-runs under its unchanged `seed` every
+    /// attempt — only the injector's decision stream folds the attempt
+    /// number in, so a retried success is bit-identical to a first-try
+    /// success.
+    fn run_unit_guarded(
+        &self,
+        scenario: &Scenario,
+        task: usize,
+        seed: u64,
+        k: u32,
+        of: u32,
+        cache: &Arc<MeasurementCache>,
+    ) -> Result<(UnitOutcome, f64), TaskFailure> {
+        let obs = self.obs.as_deref();
+        let mut attempt = 0u32;
+        loop {
+            if attempt > 0 {
+                let backoff = self.faults.backoff_secs(attempt);
+                if backoff > 0.0 {
+                    std::thread::sleep(Duration::from_secs_f64(backoff));
+                }
+                if let Some(obs) = obs {
+                    obs.registry().counter_add("sweep.task_retries", 1);
+                    obs.record_task_event(TraceEvent::TaskRetry {
+                        task: task as u64,
+                        attempt,
+                    });
+                }
+            }
+            let inject = self
+                .faults
+                .injector
+                .and_then(|inj| inj.decide(seed, task, k, attempt));
+            match self.run_attempt(scenario, seed, k, of, cache, inject) {
+                Ok(done) => return Ok(done),
+                Err(error) => {
+                    if matches!(error, TaskError::Timeout(_)) {
+                        if let Some(obs) = obs {
+                            obs.registry().counter_add("sweep.task_timeouts", 1);
+                        }
+                    }
+                    if attempt >= self.faults.retries {
+                        return Err(TaskFailure {
+                            error,
+                            attempts: attempt + 1,
+                        });
+                    }
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// One guarded attempt at a task unit: panic-isolated, optionally
+    /// under the watchdog deadline. Without a deadline the attempt runs
+    /// inline under `catch_unwind`; with one it runs on a detached
+    /// monitor-pattern thread — if the deadline passes, the runaway
+    /// thread is abandoned (its eventual result discarded) and the
+    /// attempt scores [`TaskError::Timeout`].
+    fn run_attempt(
+        &self,
+        scenario: &Scenario,
+        seed: u64,
+        k: u32,
+        of: u32,
+        cache: &Arc<MeasurementCache>,
+        inject: Option<InjectedFault>,
+    ) -> Result<(UnitOutcome, f64), TaskError> {
+        let obs = self.obs.as_deref();
+        match self.faults.task_timeout_secs {
+            None => catch_unwind(AssertUnwindSafe(|| {
+                apply_injected(inject);
+                scenario.run_unit(seed, k, of, Some(cache), obs)
+            }))
+            .map_err(classify_panic),
+            Some(limit) => {
+                let scenario = scenario.clone();
+                let cache = Arc::clone(cache);
+                let obs = self.obs.clone();
+                let (tx, rx) = std::sync::mpsc::channel();
+                // Detached on purpose: joining a runaway thread would
+                // defeat the deadline. An abandoned attempt keeps its CPU
+                // until it finishes, but its result is discarded and its
+                // panic (if any) is caught here, not propagated.
+                std::thread::spawn(move || {
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        apply_injected(inject);
+                        scenario.run_unit(seed, k, of, Some(&cache), obs.as_deref())
+                    }));
+                    let _ = tx.send(result);
+                });
+                match rx.recv_timeout(Duration::from_secs_f64(limit)) {
+                    Ok(result) => result.map_err(classify_panic),
+                    Err(_) => Err(TaskError::Timeout(limit)),
+                }
+            }
         }
     }
 
@@ -541,21 +801,57 @@ impl SweepExecutor {
     /// would maximize the out-of-order window this executor exists to
     /// keep small). Returns the final accumulator plus [`FoldStats`]
     /// recording the parked-outcome high-water mark.
+    ///
+    /// Fault tolerance applies per task exactly as in
+    /// [`SweepExecutor::run_shard`] (the fold sees
+    /// [`TaskOutcome::Failed`] cells under keep-going mode; fail-fast
+    /// re-raises at the in-order cursor). The checkpoint journal is
+    /// *not* consulted or written here — folds are streaming by nature;
+    /// use the batch executor for resumable sweeps.
     pub fn run_fold<A>(
         &self,
         plan: &SweepPlan,
         init: A,
-        mut fold: impl FnMut(A, usize, ScenarioOutcome) -> A,
+        mut fold: impl FnMut(A, usize, TaskOutcome) -> A,
     ) -> (A, FoldStats) {
         let tasks = plan.tasks();
         let cache = self.cache.clone().unwrap_or_else(MeasurementCache::shared);
         let obs = self.obs.as_deref();
         let n = tasks.len();
+        // One task under the fault policy: inactive → the exact legacy
+        // inline path (no catch_unwind, no monitor thread); active →
+        // guarded attempts, exhausted budgets degraded to `Failed`.
+        let run_task = |t: usize| -> TaskOutcome {
+            let (si, seed) = tasks[t];
+            let scenario = &plan.scenarios[si];
+            if !self.faults.active() {
+                return TaskOutcome::Ok(scenario.run_observed(seed, Some(&cache), obs));
+            }
+            match self.run_unit_guarded(scenario, t, seed, 0, 1, &cache) {
+                Ok((UnitOutcome::Whole(outcome), _)) => TaskOutcome::Ok(outcome),
+                Ok((UnitOutcome::Part(_), _)) => {
+                    unreachable!("an unsplit unit always yields a whole outcome")
+                }
+                Err(failure) => {
+                    if let Some(obs) = obs {
+                        obs.registry().counter_add("sweep.task_failures", 1);
+                        obs.record_task_event(TraceEvent::TaskFailed {
+                            task: t as u64,
+                            attempts: failure.attempts,
+                        });
+                    }
+                    TaskOutcome::Failed(failure)
+                }
+            }
+        };
         let mut acc = init;
         let mut peak = 0usize;
         if self.threads <= 1 || n <= 1 {
-            for (t, &(si, seed)) in tasks.iter().enumerate() {
-                let outcome = plan.scenarios[si].run_observed(seed, Some(&cache), obs);
+            for t in 0..n {
+                let outcome = run_task(t);
+                if let (false, Some(f)) = (self.faults.keep_going, outcome.as_failed()) {
+                    panic!("sweep task {t} failed: {f}");
+                }
                 peak = peak.max(1);
                 acc = fold(acc, t, outcome);
             }
@@ -567,9 +863,14 @@ impl SweepExecutor {
                 },
             );
         }
-        let parked: Mutex<BTreeMap<usize, ScenarioOutcome>> = Mutex::new(BTreeMap::new());
+        let parked: Mutex<BTreeMap<usize, TaskOutcome>> = Mutex::new(BTreeMap::new());
         let ready = Condvar::new();
         let next = AtomicUsize::new(0);
+        // Fail-fast latch: workers must not panic (the consumer below
+        // waits on the condvar, so an unwound worker would strand it) —
+        // they park the failure and stop claiming; the in-order consumer
+        // re-raises when the fold cursor reaches the failed task.
+        let abort = AtomicBool::new(false);
         let workers = self.threads.min(n);
         // `Option` dance: the consumer loop below runs inside the scope
         // closure, and threading the accumulator through `fold` must not
@@ -580,37 +881,45 @@ impl SweepExecutor {
                 let parked = &parked;
                 let ready = &ready;
                 let next = &next;
-                let cache = &cache;
-                let tasks = &tasks;
+                let abort = &abort;
+                let run_task = &run_task;
                 scope.spawn(move || loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
                     let t = next.fetch_add(1, Ordering::Relaxed);
                     if t >= n {
                         break;
                     }
-                    let (si, seed) = tasks[t];
-                    let outcome = plan.scenarios[si].run_observed(seed, Some(cache), obs);
-                    parked.lock().unwrap().insert(t, outcome);
+                    let outcome = run_task(t);
+                    if !self.faults.keep_going && outcome.as_failed().is_some() {
+                        abort.store(true, Ordering::Relaxed);
+                    }
+                    relock(parked).insert(t, outcome);
                     ready.notify_all();
                 });
             }
             // The calling thread is the consumer: wait for the cursor's
             // outcome, note the high-water mark, fold outside the lock.
             let mut cursor = 0usize;
-            let mut guard = parked.lock().unwrap();
+            let mut guard = relock(&parked);
             while cursor < n {
                 while !guard.contains_key(&cursor) {
-                    guard = ready.wait(guard).unwrap();
+                    guard = ready.wait(guard).unwrap_or_else(PoisonError::into_inner);
                 }
                 peak = peak.max(guard.len());
                 while let Some(outcome) = guard.remove(&cursor) {
                     drop(guard);
+                    if let (false, Some(f)) = (self.faults.keep_going, outcome.as_failed()) {
+                        panic!("sweep task {cursor} failed: {f}");
+                    }
                     acc = Some(fold(
                         acc.take().expect("accumulator present"),
                         cursor,
                         outcome,
                     ));
                     cursor += 1;
-                    guard = parked.lock().unwrap();
+                    guard = relock(&parked);
                 }
             }
         });
@@ -636,10 +945,24 @@ pub struct FoldStats {
     pub peak_parked: usize,
 }
 
-/// Accumulates a split cell's sub-run parts until the last one lands.
+/// Act out an injected fault decision at the top of a guarded attempt.
+fn apply_injected(inject: Option<InjectedFault>) {
+    match inject {
+        None => {}
+        // The marker payload lets the catch site classify this as an
+        // injected fault rather than a genuine bug.
+        Some(InjectedFault::Panic) => std::panic::panic_any(InjectedPanic),
+        Some(InjectedFault::Stall(secs)) => {
+            std::thread::sleep(Duration::from_secs_f64(secs));
+        }
+    }
+}
+
+/// Accumulates a split cell's sub-run parts (or their per-unit failures,
+/// under keep-going mode) until the last one lands.
 #[derive(Debug)]
 struct SubAcc {
-    parts: Vec<Option<RunResult>>,
+    parts: Vec<Option<Result<RunResult, TaskFailure>>>,
     secs: f64,
     ref_secs: f64,
     done: u32,
@@ -659,23 +982,29 @@ impl SubAcc {
 /// Aggregate task-indexed outcomes into per-scenario results.
 ///
 /// Tolerates missing task indices (a partial shard aggregates whatever it
-/// has); entries must be unique per index and are consumed in task order
-/// so replication order always matches seed order.
+/// has); entries and failures must be unique per index and are consumed
+/// in task order so replication order always matches seed order.
 pub(crate) fn assemble(
     plan: &SweepPlan,
     mut entries: Vec<(usize, ScenarioOutcome)>,
+    mut failed: Vec<(usize, TaskFailure)>,
 ) -> Vec<ScenarioResult> {
     let tasks = plan.tasks();
     entries.sort_by_key(|(t, _)| *t);
+    failed.sort_by_key(|(t, _)| *t);
     let mut outcomes: Vec<Vec<ScenarioOutcome>> =
         plan.scenarios.iter().map(|_| Vec::new()).collect();
+    let mut failures: Vec<Vec<TaskFailure>> = plan.scenarios.iter().map(|_| Vec::new()).collect();
     for (t, outcome) in entries {
         outcomes[tasks[t].0].push(outcome);
     }
+    for (t, failure) in failed {
+        failures[tasks[t].0].push(failure);
+    }
     plan.scenarios
         .iter()
-        .zip(outcomes)
-        .map(|(scenario, outcomes)| {
+        .zip(outcomes.into_iter().zip(failures))
+        .map(|(scenario, (outcomes, failures))| {
             let mut reps = Replications::new();
             for o in &outcomes {
                 for (k, v) in o.metrics() {
@@ -685,6 +1014,7 @@ pub(crate) fn assemble(
             ScenarioResult {
                 scenario: scenario.clone(),
                 outcomes,
+                failures,
                 reps,
             }
         })
@@ -1044,12 +1374,303 @@ mod tests {
         for exec in [SweepExecutor::serial(), SweepExecutor::parallel(4)] {
             let (folded, stats) = exec.run_fold(&plan, Vec::new(), |mut acc: Vec<String>, t, o| {
                 assert_eq!(acc.len(), t, "outcomes fold strictly in task order");
-                acc.push(encode_outcome(&o));
+                acc.push(encode_outcome(o.as_ok().expect("no faults engaged")));
                 acc
             });
             assert_eq!(stats.tasks, plan.task_count());
             assert!(stats.peak_parked >= 1 && stats.peak_parked <= plan.task_count());
             assert_eq!(folded, expected);
         }
+    }
+
+    /// An injector that fails *every* attempt of *every* task must not
+    /// abort a keep-going sweep: every cell degrades to a marked failure
+    /// carrying the full attempt count, and the failure records survive
+    /// the assemble path.
+    #[test]
+    fn keep_going_sweep_survives_total_failure() {
+        let plan = quick_plan();
+        let exec = SweepExecutor::parallel(4).with_faults(FaultPolicy {
+            keep_going: true,
+            retries: 1,
+            injector: Some(crate::fault::FaultInjector {
+                p_panic: 1.0,
+                p_stall: 0.0,
+                stall_secs: 0.0,
+            }),
+            ..Default::default()
+        });
+        let obs = Arc::new(SweepObs::new());
+        let results = exec.with_obs(Arc::clone(&obs)).run(&plan);
+        let total: usize = results.iter().map(|r| r.failures.len()).sum();
+        assert_eq!(total, plan.task_count());
+        assert!(results.iter().all(|r| r.outcomes.is_empty()));
+        for r in &results {
+            for f in &r.failures {
+                assert_eq!(f.attempts, 2, "1 retry = 2 attempts");
+                assert_eq!(f.error, crate::fault::TaskError::Injected("panic".into()));
+            }
+        }
+        let reg = obs.registry();
+        assert_eq!(reg.counter("sweep.task_failures"), plan.task_count() as u64);
+        assert_eq!(reg.counter("sweep.task_retries"), plan.task_count() as u64);
+    }
+
+    /// The determinism acceptance criterion: under a partial-failure
+    /// injector with retries, every cell that eventually *succeeds* is
+    /// bit-identical to the same cell of a fault-free run — a retried
+    /// success is indistinguishable from a first-try success.
+    #[test]
+    fn surviving_cells_under_injected_faults_match_the_fault_free_run_bitwise() {
+        let plan = quick_plan();
+        let baseline = SweepExecutor::serial().run_shard(&plan, 0, 1);
+        let faulty = SweepExecutor::parallel(4)
+            .with_faults(FaultPolicy {
+                keep_going: true,
+                retries: 2,
+                injector: Some(crate::fault::FaultInjector {
+                    p_panic: 0.4,
+                    p_stall: 0.0,
+                    stall_secs: 0.0,
+                }),
+                ..Default::default()
+            })
+            .run_shard(&plan, 0, 1);
+        let by_task: std::collections::HashMap<usize, String> = baseline
+            .entries
+            .iter()
+            .map(|(t, o)| (*t, encode_outcome(o)))
+            .collect();
+        assert!(
+            !faulty.entries.is_empty(),
+            "p=0.4 over 3 attempts leaves survivors"
+        );
+        for (t, o) in &faulty.entries {
+            assert_eq!(encode_outcome(o), by_task[t], "task {t}");
+        }
+        // Determinism of the *failures* too: the same injected sweep
+        // re-run (serial this time) must fail the same tasks the same way.
+        let again = SweepExecutor::serial()
+            .with_faults(FaultPolicy {
+                keep_going: true,
+                retries: 2,
+                injector: Some(crate::fault::FaultInjector {
+                    p_panic: 0.4,
+                    p_stall: 0.0,
+                    stall_secs: 0.0,
+                }),
+                ..Default::default()
+            })
+            .run_shard(&plan, 0, 1);
+        assert_eq!(faulty.failures, again.failures);
+        let render = |s: &ShardResult| -> Vec<(usize, String)> {
+            s.entries
+                .iter()
+                .map(|(t, o)| (*t, encode_outcome(o)))
+                .collect()
+        };
+        assert_eq!(render(&faulty), render(&again));
+    }
+
+    /// The watchdog scores a stalled attempt as a timeout: with a stall
+    /// injected on every attempt and a deadline shorter than the stall,
+    /// every cell fails by `TaskError::Timeout` without hanging the sweep.
+    #[test]
+    fn watchdog_times_out_stalled_tasks() {
+        let rc = RunConfig {
+            warmup_txns: 10,
+            measured_txns: 30,
+            ..Default::default()
+        };
+        let plan = SweepPlan::new(vec![Scenario::tput("s1", setup(1), 3, rc)]);
+        let obs = Arc::new(SweepObs::new());
+        let results = SweepExecutor::serial()
+            .with_faults(FaultPolicy {
+                keep_going: true,
+                task_timeout_secs: Some(0.05),
+                injector: Some(crate::fault::FaultInjector {
+                    p_panic: 0.0,
+                    p_stall: 1.0,
+                    stall_secs: 0.4,
+                }),
+                ..Default::default()
+            })
+            .with_obs(Arc::clone(&obs))
+            .run(&plan);
+        assert_eq!(results[0].failures.len(), 1);
+        assert_eq!(
+            results[0].failures[0].error,
+            crate::fault::TaskError::Timeout(0.05)
+        );
+        assert_eq!(obs.registry().counter("sweep.task_timeouts"), 1);
+    }
+
+    /// Fail-fast (the default) still aborts: an all-failing injector
+    /// without keep-going panics out of the sweep instead of degrading.
+    #[test]
+    fn fail_fast_policy_aborts_the_sweep_on_task_failure() {
+        let plan = quick_plan();
+        let policy = FaultPolicy {
+            injector: Some(crate::fault::FaultInjector {
+                p_panic: 1.0,
+                p_stall: 0.0,
+                stall_secs: 0.0,
+            }),
+            ..Default::default()
+        };
+        // Serial: the failure panic carries the typed message.
+        let failure = policy.clone();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            SweepExecutor::serial().with_faults(failure).run(&plan)
+        }));
+        let msg = *result
+            .expect_err("fail-fast aborts")
+            .downcast::<String>()
+            .unwrap();
+        assert!(msg.contains("sweep task"), "{msg}");
+        assert!(msg.contains("injected fault"), "{msg}");
+        // Parallel: the abort latch still fails the sweep (thread::scope
+        // re-raises with its own payload, so only the abort is asserted).
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            SweepExecutor::parallel(4).with_faults(policy).run(&plan)
+        }));
+        assert!(result.is_err(), "parallel fail-fast aborts too");
+    }
+
+    /// Checkpoint/resume round trip: journal a full run, then resume from
+    /// the journal — every task is skipped, the merged shard is
+    /// bit-identical, and resumed cells contribute no timing lines.
+    #[test]
+    fn journaled_sweep_resumes_bit_identically_and_skips_timings() {
+        let plan = quick_plan();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("xsched-sweep-journal-{}.log", std::process::id()));
+        let direct = SweepExecutor::serial().run_shard(&plan, 0, 1);
+        let journal = Arc::new(crate::journal::CheckpointJournal::create(&path).unwrap());
+        let journaled = SweepExecutor::parallel(2)
+            .with_journal(Arc::clone(&journal))
+            .run_shard(&plan, 0, 1);
+        for ((t, a), (u, b)) in direct.entries.iter().zip(&journaled.entries) {
+            assert_eq!(t, u);
+            assert_eq!(encode_outcome(a), encode_outcome(b));
+        }
+        let replay = Arc::new(crate::journal::JournalReplay::load(&path).unwrap());
+        let obs = Arc::new(SweepObs::new());
+        let resumed = SweepExecutor::parallel(2)
+            .with_resume(replay)
+            .with_obs(Arc::clone(&obs))
+            .run_shard(&plan, 0, 1);
+        std::fs::remove_file(&path).ok();
+        // Entries identical; no wall-clock was spent, so no timing lines
+        // and no executed-task telemetry.
+        assert_eq!(resumed.entries.len(), direct.entries.len());
+        for ((t, a), (u, b)) in direct.entries.iter().zip(&resumed.entries) {
+            assert_eq!(t, u);
+            assert_eq!(encode_outcome(a), encode_outcome(b));
+        }
+        assert!(resumed.timings.is_empty());
+        let reg = obs.registry();
+        assert_eq!(reg.counter("sweep.tasks_resumed"), plan.task_count() as u64);
+        assert_eq!(reg.counter("sweep.tasks_done"), 0);
+        // And the assembled tables match bitwise.
+        let a = assemble(&plan, direct.entries, direct.failures);
+        let b = assemble(&plan, resumed.entries, resumed.failures);
+        for (x, y) in a.iter().zip(&b) {
+            for (o, p) in x.outcomes.iter().zip(&y.outcomes) {
+                assert_eq!(encode_outcome(o), encode_outcome(p));
+            }
+        }
+    }
+
+    /// Keep-going + sub-run expansion: a failing unit degrades the whole
+    /// cell deterministically (lowest-k failure wins) while fault-free
+    /// cells still combine bit-identically to the plain run.
+    #[test]
+    fn subrun_cell_failure_degrades_the_cell_deterministically() {
+        let rc = RunConfig {
+            warmup_txns: 30,
+            measured_txns: 240,
+            subruns: 3,
+            ..Default::default()
+        };
+        let plan = SweepPlan::new(vec![
+            Scenario::tput("s1", setup(1), 2, rc.clone()),
+            Scenario::tput("s2", setup(2), 6, rc),
+        ]);
+        let policy = FaultPolicy {
+            keep_going: true,
+            injector: Some(crate::fault::FaultInjector {
+                p_panic: 0.3,
+                p_stall: 0.0,
+                stall_secs: 0.0,
+            }),
+            ..Default::default()
+        };
+        let serial = SweepExecutor::serial()
+            .with_faults(policy.clone())
+            .run_shard(&plan, 0, 1);
+        assert!(
+            !serial.failures.is_empty(),
+            "p=0.3 per unit, no retries: some cell fails"
+        );
+        let render = |s: &ShardResult| -> Vec<(usize, String)> {
+            s.entries
+                .iter()
+                .map(|(t, o)| (*t, encode_outcome(o)))
+                .collect()
+        };
+        for threads in [2usize, 4] {
+            let wide = SweepExecutor::parallel(threads)
+                .with_faults(policy.clone())
+                .run_shard(&plan, 0, 1);
+            assert_eq!(serial.failures, wide.failures, "threads={threads}");
+            assert_eq!(render(&serial), render(&wide), "threads={threads}");
+        }
+    }
+
+    /// run_fold under keep-going: failed tasks arrive at the fold as
+    /// `TaskOutcome::Failed`, still strictly in task order, and the
+    /// successful outcomes match the unguarded stream.
+    #[test]
+    fn run_fold_keep_going_folds_failures_in_order() {
+        let plan = quick_plan();
+        let policy = FaultPolicy {
+            keep_going: true,
+            injector: Some(crate::fault::FaultInjector {
+                p_panic: 0.4,
+                p_stall: 0.0,
+                stall_secs: 0.0,
+            }),
+            ..Default::default()
+        };
+        let reference = SweepExecutor::serial().run_shard(&plan, 0, 1);
+        let expected: Vec<String> = reference
+            .entries
+            .iter()
+            .map(|(_, o)| encode_outcome(o))
+            .collect();
+        let mut streams = Vec::new();
+        for exec in [SweepExecutor::serial(), SweepExecutor::parallel(4)] {
+            let (folded, stats) = exec.with_faults(policy.clone()).run_fold(
+                &plan,
+                Vec::new(),
+                |mut acc: Vec<(usize, Option<String>)>, t, o| {
+                    assert_eq!(acc.len(), t, "failures fold in task order too");
+                    acc.push((t, o.as_ok().map(encode_outcome)));
+                    acc
+                },
+            );
+            assert_eq!(stats.tasks, plan.task_count());
+            let failed = folded.iter().filter(|(_, o)| o.is_none()).count();
+            assert!(failed > 0, "p=0.4 with no retries fails something");
+            assert!(failed < plan.task_count(), "and spares something");
+            for (t, o) in &folded {
+                if let Some(o) = o {
+                    assert_eq!(o, &expected[*t], "surviving task {t}");
+                }
+            }
+            streams.push(folded);
+        }
+        assert_eq!(streams[0], streams[1], "serial ≡ parallel, byte for byte");
     }
 }

@@ -111,6 +111,23 @@ pub enum TraceEvent {
         /// Throughput of the discarded window, txns/second.
         throughput: f64,
     },
+    /// Harness: a sweep task attempt failed and is being retried. Unlike
+    /// the simulator events above this carries no simulation time — it
+    /// is emitted by the sweep executor, outside any simulation.
+    TaskRetry {
+        /// Global task index within the sweep plan.
+        task: u64,
+        /// The retry attempt about to run (1 = first retry).
+        attempt: u32,
+    },
+    /// Harness: a sweep task exhausted its attempts and was degraded to
+    /// a failed cell (keep-going mode) or aborted the sweep (fail-fast).
+    TaskFailed {
+        /// Global task index within the sweep plan.
+        task: u64,
+        /// Total attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 impl TraceEvent {
@@ -131,11 +148,13 @@ impl TraceEvent {
             TraceEvent::ChaosAbort { .. } => 10,
             TraceEvent::ChaosBurst { .. } => 11,
             TraceEvent::ControllerDiscard { .. } => 12,
+            TraceEvent::TaskRetry { .. } => 13,
+            TraceEvent::TaskFailed { .. } => 14,
         }
     }
 
     /// Number of distinct event kinds.
-    pub const KINDS: usize = 13;
+    pub const KINDS: usize = 15;
 
     /// Stable short name of a kind index.
     pub fn kind_name(kind: usize) -> &'static str {
@@ -153,6 +172,8 @@ impl TraceEvent {
             "chaos_abort",
             "chaos_burst",
             "controller_discard",
+            "task_retry",
+            "task_failed",
         ][kind]
     }
 }
