@@ -281,10 +281,17 @@ fn measure_shards(
         // pollute the per-bucket averages the calibrated model fits.
         let refs: std::collections::HashMap<usize, f64> =
             shard.ref_timings.iter().copied().collect();
+        let events: std::collections::HashMap<usize, u64> = shard.events.iter().copied().collect();
+        let ref_events: std::collections::HashMap<usize, u64> =
+            shard.ref_events.iter().copied().collect();
         for &(t, secs) in &shard.timings {
             let scenario = &plan.scenarios[tasks[t].0];
             let ref_secs = refs.get(&t).copied().unwrap_or(0.0);
-            cells.extend(CostModel::timing_cells(scenario, secs, ref_secs));
+            let ref_ev = ref_events.get(&t).copied().unwrap_or(0);
+            let ev = events.get(&t).copied().unwrap_or(0).saturating_add(ref_ev);
+            cells.extend(CostModel::timing_cells(
+                scenario, secs, ref_secs, ev, ref_ev,
+            ));
         }
     }
     (walls, cells)

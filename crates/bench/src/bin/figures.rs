@@ -22,14 +22,29 @@
 //! figures --quick --shard 2/2 fig3 > s2.txt   # host B
 //! figures --quick --merge s1.txt,s2.txt fig3  # anywhere
 //! ```
+//!
+//! Or **coordinated** (work-stealing with lease-based fault recovery):
+//! one `--serve host:port` process hands out task leases and prints the
+//! merged tables; any number of `--worker host:port` processes (same
+//! experiment flags) claim, execute, and stream outcomes back. Kill a
+//! worker mid-sweep and its leases expire and reassign — the tables do
+//! not change a byte:
+//!
+//! ```text
+//! figures --quick --serve 0.0.0.0:7070 fig3   # prints the tables
+//! figures --quick --worker hostA:7070 fig3    # as many as you like
+//! ```
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 use xsched_bench::cli::{parse_args, USAGE};
 use xsched_bench::*;
 use xsched_core::cost::{decode_timings, encode_timings};
 use xsched_core::shard::decode_payloads;
 use xsched_core::{
-    CheckpointJournal, CostModel, FaultInjector, FaultPolicy, JournalReplay, SweepObs,
+    CheckpointJournal, CoordServer, CostModel, FaultInjector, FaultPolicy, FaultyTransport,
+    JournalReplay, SweepObs, TcpTransport, Transport, WireFaultInjector, WorkerConfig,
 };
 
 const EXPERIMENTS: &[&str] = &[
@@ -85,7 +100,42 @@ fn main() {
     // The shard sink collects encoded payloads; in shard mode they are
     // what goes to stdout (tables are suppressed until the merge).
     let sink = Arc::new(Mutex::new(Vec::new()));
-    let mode = if let Some((i, n)) = args.shard {
+    // Raised by worker mode when the coordinator was unreachable and a
+    // sweep fell back to local execution — then this process owns real
+    // results and must print them.
+    let degraded = Arc::new(AtomicBool::new(false));
+    let mode = if let Some(addr) = &args.serve {
+        let server = CoordServer::bind(addr).unwrap_or_else(|e| {
+            eprintln!("error: cannot bind coordinator address `{addr}`: {e}");
+            std::process::exit(2);
+        });
+        let bound = server
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| addr.clone());
+        eprintln!("[coordinator listening on {bound}]");
+        SweepMode::Serve {
+            server: Arc::new(server),
+            epoch: Arc::new(AtomicU64::new(0)),
+            lease_secs: args.lease.unwrap_or(10.0),
+            linger_secs: 1.0,
+        }
+    } else if let Some(addr) = &args.worker {
+        let tcp = TcpTransport::new(addr, Duration::from_secs(5));
+        let transport: Arc<dyn Transport> = match args.wire_faults {
+            Some(seed) => {
+                eprintln!("[wire-fault injection on, seed {seed}]");
+                Arc::new(FaultyTransport::new(tcp, WireFaultInjector::chaos(seed)))
+            }
+            None => Arc::new(tcp),
+        };
+        SweepMode::Worker {
+            transport,
+            epoch: Arc::new(AtomicU64::new(0)),
+            config: Arc::new(WorkerConfig::new(&format!("w{}", std::process::id()))),
+            degraded: Arc::clone(&degraded),
+        }
+    } else if let Some((i, n)) = args.shard {
         SweepMode::Shard {
             index: i - 1, // CLI is 1-based, the executor 0-based
             of: n,
@@ -281,6 +331,12 @@ fn main() {
                 println!("# experiment {name}");
                 print!("{payload}");
             }
+        } else if args.worker.is_some() && !degraded.load(Ordering::SeqCst) {
+            // Worker mode: the coordinator holds the merged outcomes and
+            // prints the tables; this side's partial renderings stay
+            // unprinted. (A degraded worker ran the sweep itself and
+            // prints normally.)
+            eprintln!("[{name}: tables render on the coordinator]");
         } else {
             println!("{report}");
         }

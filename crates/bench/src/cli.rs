@@ -4,7 +4,8 @@
 //! access, so `clap` cannot be vendored) covering exactly the surface the
 //! binary needs: `--quick`, `--seeds`, `--replications`, `--threads`,
 //! `--shard`, `--balance`, `--timings`, `--calibrate`, `--merge`,
-//! `--list`, `--help`, and positional experiment names. Parsing is pure
+//! `--serve`, `--worker`, `--lease`, `--wire-faults`, `--list`,
+//! `--help`, and positional experiment names. Parsing is pure
 //! and errors are **typed** ([`ArgError`]) so the binary can render a
 //! clean one-liner and the unit tests can assert on the exact failure,
 //! not a string.
@@ -117,6 +118,22 @@ pub struct FiguresArgs {
     pub calibrate: Option<String>,
     /// Shard payload files to merge instead of simulating.
     pub merge: Vec<String>,
+    /// Serve every sweep as a task-queue coordinator on this TCP address
+    /// (`host:port`): workers claim task leases, this process records
+    /// their outcomes and prints the merged tables.
+    pub serve: Option<String>,
+    /// Run as a worker client of the coordinator at this TCP address:
+    /// claim task leases, execute, stream outcomes back. Prints no
+    /// tables (the coordinator does).
+    pub worker: Option<String>,
+    /// Coordinator lease duration in seconds (`None` = the default 10):
+    /// a worker that neither records nor heartbeats within the window
+    /// loses the task to reassignment.
+    pub lease: Option<f64>,
+    /// Worker-side deterministic wire-fault injection seed: drop /
+    /// duplicate / delay / truncate a few percent of frames, pure in
+    /// (seed, frame index).
+    pub wire_faults: Option<u64>,
     /// Print the experiment list and exit.
     pub list: bool,
     /// Print usage and exit.
@@ -222,6 +239,29 @@ OPTIONS:
                              that resolve MPLs while building their plan
                              (fig11-13, ablation_policy) repeat that
                              deterministic search locally
+        --serve ADDR         coordinate every sweep over TCP at ADDR
+                             (host:port): hand out task leases to
+                             --worker clients, record their outcomes
+                             (checkpointed under --checkpoint, resumable
+                             with --resume), and print merged tables
+                             byte-identical to a direct run. Dead
+                             workers are detected by lease expiry and
+                             their tasks reassigned
+        --worker ADDR        run as a worker of the coordinator at ADDR:
+                             claim task leases, execute, heartbeat,
+                             stream outcomes back; reconnect with
+                             deterministic backoff on transport faults.
+                             Prints no tables. If the coordinator is
+                             unreachable from the start, degrades to a
+                             plain local run. Must be launched with the
+                             same experiment flags as the coordinator
+        --lease SECS         coordinator lease duration [default: 10]:
+                             a worker silent for SECS loses its task to
+                             reassignment (requires --serve)
+        --wire-faults SEED   deterministically drop/duplicate/delay/
+                             truncate a few percent of this worker's
+                             frames (requires --worker) — the sweep must
+                             still converge byte-identical
     -l, --list               list experiment names and exit
     -h, --help               print this help and exit
 
@@ -236,6 +276,12 @@ Cost calibration feedback loop (timings from any run improve the next):
 
     figures --quick --timings t.json fig3
     figures --quick --shard 1/2 --balance cost --calibrate t.json fig3
+
+Coordinated sweeps (work-stealing across hosts; kill a worker mid-run
+and its leased tasks are reassigned — the tables do not change a byte):
+
+    figures --quick --serve 0.0.0.0:7070 fig3        # prints the tables
+    figures --quick --worker hostA:7070 fig3         # any number of these
 ";
 
 fn parse_shard(v: &str) -> Result<(usize, usize), ArgError> {
@@ -385,6 +431,28 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<FiguresArgs, ArgError> {
             "--merge" => out
                 .merge
                 .extend(value_for(arg)?.split(',').map(|p| p.trim().to_string())),
+            "--serve" => out.serve = Some(value_for(arg)?),
+            "--worker" => out.worker = Some(value_for(arg)?),
+            "--lease" => {
+                let v = value_for(arg)?;
+                let secs: f64 = v.parse().unwrap_or(f64::NAN);
+                if !(secs > 0.0 && secs.is_finite()) {
+                    return Err(ArgError::InvalidValue {
+                        flag: arg.to_string(),
+                        value: v,
+                        want: "a positive lease duration in seconds",
+                    });
+                }
+                out.lease = Some(secs);
+            }
+            "--wire-faults" => {
+                let v = value_for(arg)?;
+                out.wire_faults = Some(v.parse().map_err(|_| ArgError::InvalidValue {
+                    flag: arg.to_string(),
+                    value: v,
+                    want: "a fault-stream seed (u64)",
+                })?);
+            }
             other if other.starts_with('-') => {
                 return Err(ArgError::UnknownOption(other.to_string()));
             }
@@ -413,6 +481,36 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<FiguresArgs, ArgError> {
     if out.resume && out.checkpoint.is_none() {
         return Err(ArgError::Conflict(
             "--resume requires --checkpoint (the journal to resume from)",
+        ));
+    }
+    if out.serve.is_some() && out.worker.is_some() {
+        return Err(ArgError::Conflict(
+            "--serve and --worker are mutually exclusive (one process is one side)",
+        ));
+    }
+    if (out.serve.is_some() || out.worker.is_some()) && out.shard.is_some() {
+        return Err(ArgError::Conflict(
+            "--serve/--worker and --shard are mutually exclusive (the coordinator replaces static sharding)",
+        ));
+    }
+    if (out.serve.is_some() || out.worker.is_some()) && !out.merge.is_empty() {
+        return Err(ArgError::Conflict(
+            "--serve/--worker and --merge are mutually exclusive",
+        ));
+    }
+    if out.lease.is_some() && out.serve.is_none() {
+        return Err(ArgError::Conflict(
+            "--lease requires --serve (the coordinator owns the leases)",
+        ));
+    }
+    if out.wire_faults.is_some() && out.worker.is_none() {
+        return Err(ArgError::Conflict(
+            "--wire-faults requires --worker (faults are injected client-side)",
+        ));
+    }
+    if out.worker.is_some() && out.checkpoint.is_some() {
+        return Err(ArgError::Conflict(
+            "--checkpoint/--resume run on the coordinator, not with --worker",
         ));
     }
     out.subruns = subruns.unwrap_or(0);
@@ -662,5 +760,78 @@ mod tests {
         let a = parse_args(&["-q", "-l", "-h", "-t", "2"]).unwrap();
         assert!(a.quick && a.list && a.help);
         assert_eq!(a.threads, 2);
+    }
+
+    #[test]
+    fn coordinator_flags_parse() {
+        let a = parse_args(&["--serve", "0.0.0.0:7070", "--lease", "2.5", "fig3"]).unwrap();
+        assert_eq!(a.serve.as_deref(), Some("0.0.0.0:7070"));
+        assert_eq!(a.lease, Some(2.5));
+        let b = parse_args(&["--worker", "host:7070", "--wire-faults", "99"]).unwrap();
+        assert_eq!(b.worker.as_deref(), Some("host:7070"));
+        assert_eq!(b.wire_faults, Some(99));
+        // Defaults: neither role, lease unset (the binary applies 10 s).
+        let d = parse_args::<&str>(&[]).unwrap();
+        assert_eq!(
+            (d.serve, d.worker, d.lease, d.wire_faults),
+            (None, None, None, None)
+        );
+        // Bad values are typed.
+        for bad in [
+            vec!["--lease", "0"],
+            vec!["--lease", "-1"],
+            vec!["--lease", "x"],
+            vec!["--wire-faults", "nope"],
+        ] {
+            assert!(
+                matches!(parse_args(&bad).unwrap_err(), ArgError::InvalidValue { .. }),
+                "{bad:?}"
+            );
+        }
+        assert_eq!(
+            parse_args(&["--serve"]).unwrap_err(),
+            ArgError::MissingValue("--serve".into())
+        );
+    }
+
+    /// The coordinated-mode contract: role, sharding, and journal flags
+    /// that cannot be combined are typed conflicts, and dependent flags
+    /// name their prerequisite.
+    #[test]
+    fn coordinator_conflicts_are_typed() {
+        for (args, needle) in [
+            (
+                vec!["--serve", "a:1", "--worker", "b:1"],
+                "--serve and --worker",
+            ),
+            (vec!["--serve", "a:1", "--shard", "1/2"], "--shard"),
+            (vec!["--worker", "a:1", "--shard", "1/2"], "--shard"),
+            (vec!["--serve", "a:1", "--merge", "s.txt"], "--merge"),
+            (vec!["--lease", "5"], "--lease requires --serve"),
+            (
+                vec!["--worker", "a:1", "--lease", "5"],
+                "--lease requires --serve",
+            ),
+            (
+                vec!["--wire-faults", "7"],
+                "--wire-faults requires --worker",
+            ),
+            (
+                vec!["--serve", "a:1", "--wire-faults", "7"],
+                "--wire-faults requires --worker",
+            ),
+            (
+                vec!["--worker", "a:1", "--checkpoint", "j.log"],
+                "--checkpoint/--resume run on the coordinator",
+            ),
+        ] {
+            match parse_args(&args).unwrap_err() {
+                ArgError::Conflict(msg) => assert!(msg.contains(needle), "{args:?}: {msg}"),
+                other => panic!("{args:?}: expected conflict, got {other:?}"),
+            }
+        }
+        // The journal flags are fine on the coordinator side.
+        let a = parse_args(&["--serve", "a:1", "--checkpoint", "j.log", "--resume"]).unwrap();
+        assert!(a.resume && a.serve.is_some());
     }
 }

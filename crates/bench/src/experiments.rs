@@ -10,11 +10,13 @@
 
 use crate::fmt::{f0, f1, f2, f3, ms, table};
 use crate::table::{pivot_table, Col};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use xsched_core::{
-    ArrivalSpec, BalanceMode, CellTiming, CheckpointJournal, CostModel, ExecSpec, FaultPolicy,
-    JournalReplay, MplSpec, PolicyKind, RunConfig, Scenario, ScenarioResult, ShardResult,
-    SweepExecutor, SweepObs, SweepPlan, Targets,
+    run_worker, ArrivalSpec, BalanceMode, CellTiming, CheckpointJournal, CoordConfig, CoordServer,
+    Coordinator, CostModel, ExecSpec, FaultPolicy, JournalReplay, MeasurementCache, MplSpec,
+    PolicyKind, RunConfig, Scenario, ScenarioResult, ShardResult, SweepExecutor, SweepObs,
+    SweepPlan, Targets, Transport, WorkerConfig, WorkerError,
 };
 use xsched_dbms::{CpuPolicy, FaultSpec, LockPriorityPolicy, SpikeSpec, StallSpec};
 use xsched_queueing::{flex::FlexServer, mg1, recommend, ClosedNetwork, ThroughputModel, H2};
@@ -75,8 +77,9 @@ pub fn full_rc_heavy() -> RunConfig {
 pub struct MergeError(pub String);
 
 /// How a report's sweep executes: in full, as one shard of a split run,
-/// or by merging previously recorded shard payloads.
-#[derive(Debug, Clone, Default)]
+/// by merging previously recorded shard payloads, or coordinated across
+/// hosts (serving task leases, or working a coordinator's queue).
+#[derive(Clone, Default)]
 pub enum SweepMode {
     /// Run every task in this process (the default).
     #[default]
@@ -100,6 +103,67 @@ pub enum SweepMode {
         /// Decoded payloads from every shard file.
         pool: Arc<Vec<ShardResult>>,
     },
+    /// Serve each sweep as a task-queue coordinator: hand out leases to
+    /// `--worker` clients over TCP, record (and optionally journal)
+    /// their outcomes, reassign expired leases, and return the merged
+    /// results — byte-identical to a direct run.
+    Serve {
+        /// The bound TCP listener, shared across the run's sweeps.
+        server: Arc<CoordServer>,
+        /// Sweep epoch counter; each executed sweep takes the next one,
+        /// so coordinator and workers (running the same experiment
+        /// flags) stay aligned sweep for sweep.
+        epoch: Arc<AtomicU64>,
+        /// Lease duration granted per claim, seconds.
+        lease_secs: f64,
+        /// Seconds to keep answering after a sweep completes, so slow
+        /// workers can still poll their `done`.
+        linger_secs: f64,
+    },
+    /// Work a coordinator's queue: claim task leases over `transport`,
+    /// execute them through the normal executor, stream outcomes back.
+    /// Returns empty results (the coordinator renders the tables) —
+    /// unless the coordinator is unreachable from the start, in which
+    /// case the sweep degrades to a full local run and `degraded` is
+    /// raised so the caller knows the results are real.
+    Worker {
+        /// Round-trip channel to the coordinator (possibly fault-injected).
+        transport: Arc<dyn Transport>,
+        /// Sweep epoch counter mirroring the coordinator's.
+        epoch: Arc<AtomicU64>,
+        /// Worker identity and retry/heartbeat tuning.
+        config: Arc<WorkerConfig>,
+        /// Set when any sweep fell back to local execution.
+        degraded: Arc<AtomicBool>,
+    },
+}
+
+impl std::fmt::Debug for SweepMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepMode::Run => f.debug_struct("Run").finish(),
+            SweepMode::Shard { index, of, .. } => f
+                .debug_struct("Shard")
+                .field("index", index)
+                .field("of", of)
+                .finish_non_exhaustive(),
+            SweepMode::Merge { pool } => {
+                f.debug_struct("Merge").field("pool", &pool.len()).finish()
+            }
+            SweepMode::Serve {
+                epoch, lease_secs, ..
+            } => f
+                .debug_struct("Serve")
+                .field("epoch", epoch)
+                .field("lease_secs", lease_secs)
+                .finish_non_exhaustive(),
+            SweepMode::Worker { epoch, config, .. } => f
+                .debug_struct("Worker")
+                .field("epoch", epoch)
+                .field("config", config)
+                .finish_non_exhaustive(),
+        }
+    }
 }
 
 /// How a report executes its sweep: replication seeds, worker threads,
@@ -172,11 +236,17 @@ impl SweepOpts {
         if let Some(obs) = &self.obs {
             executor = executor.with_obs(Arc::clone(obs));
         }
-        if let Some(journal) = &self.journal {
-            executor = executor.with_journal(Arc::clone(journal));
-        }
-        if let Some(replay) = &self.resume {
-            executor = executor.with_resume(Arc::clone(replay));
+        // Durability belongs to whichever side records outcomes: the
+        // executor in local/sharded runs, the Coordinator in Serve mode
+        // (workers never journal — a worker's journal would hold a
+        // meaningless subset).
+        if matches!(self.mode, SweepMode::Run | SweepMode::Shard { .. }) {
+            if let Some(journal) = &self.journal {
+                executor = executor.with_journal(Arc::clone(journal));
+            }
+            if let Some(replay) = &self.resume {
+                executor = executor.with_resume(Arc::clone(replay));
+            }
         }
         match &self.mode {
             SweepMode::Run => {
@@ -204,6 +274,89 @@ impl SweepOpts {
                     ))),
                 }
             }
+            SweepMode::Serve {
+                server,
+                epoch,
+                lease_secs,
+                linger_secs,
+            } => {
+                let ep = epoch.fetch_add(1, Ordering::SeqCst);
+                let mut coord = Coordinator::new(
+                    ep,
+                    &plan,
+                    CoordConfig {
+                        lease_secs: *lease_secs,
+                    },
+                );
+                if let Some(journal) = &self.journal {
+                    coord = coord.with_journal(Arc::clone(journal));
+                }
+                if let Some(replay) = &self.resume {
+                    coord = coord.with_resume(replay);
+                }
+                if let Some(obs) = &self.obs {
+                    coord = coord.with_obs(Arc::clone(obs));
+                }
+                eprintln!(
+                    "[coord] sweep {ep}: serving {} task(s), lease {lease_secs}s",
+                    coord.remaining()
+                );
+                server
+                    .serve_sweep(&mut coord, *linger_secs)
+                    .unwrap_or_else(|e| panic!("coordinator server failed: {e}"));
+                let shard = coord.into_shard_result();
+                // The coordinator refuses to finish below full coverage,
+                // so this merge can only fail on a genuine bug.
+                ShardResult::merge(&plan, [&shard])
+                    .unwrap_or_else(|e| panic!("coordinated sweep failed to merge: {e}"))
+            }
+            SweepMode::Worker {
+                transport,
+                epoch,
+                config,
+                degraded,
+            } => {
+                let ep = epoch.fetch_add(1, Ordering::SeqCst);
+                // One shared measurement cache across the per-task
+                // executor calls, so this worker pays for each capacity
+                // reference at most once per sweep.
+                let executor = executor.with_cache(MeasurementCache::shared());
+                match run_worker(&plan, ep, &executor, transport.as_ref(), config) {
+                    Ok(summary) => {
+                        eprintln!(
+                            "[worker {}] sweep {ep}: executed {} task(s), {} reconnect(s)",
+                            config.id, summary.tasks_executed, summary.reconnects
+                        );
+                        // The coordinator holds the outcomes and renders
+                        // the tables; this side has nothing to show.
+                        ShardResult {
+                            shard: 0,
+                            of: 1,
+                            plan_fingerprint: plan.fingerprint(),
+                            task_count: plan.task_count(),
+                            entries: Vec::new(),
+                            failures: Vec::new(),
+                            timings: Vec::new(),
+                            ref_timings: Vec::new(),
+                            events: Vec::new(),
+                            ref_events: Vec::new(),
+                        }
+                        .partial_results(&plan)
+                    }
+                    Err(WorkerError::Unreachable(e)) => {
+                        degraded.store(true, Ordering::SeqCst);
+                        eprintln!(
+                            "[worker {}] sweep {ep}: coordinator unreachable ({e}); \
+                             degrading to a local run",
+                            config.id
+                        );
+                        let shard = executor.run_shard(&plan, 0, 1);
+                        self.record_timings(&plan, &shard);
+                        shard.partial_results(&plan)
+                    }
+                    Err(e) => panic!("worker {} failed on sweep {ep}: {e}", config.id),
+                }
+            }
         }
     }
 
@@ -215,14 +368,23 @@ impl SweepOpts {
         let tasks = plan.tasks();
         let refs: std::collections::HashMap<usize, f64> =
             shard.ref_timings.iter().copied().collect();
+        let events: std::collections::HashMap<usize, u64> = shard.events.iter().copied().collect();
+        let ref_events: std::collections::HashMap<usize, u64> =
+            shard.ref_events.iter().copied().collect();
         let mut sink = sink.lock().unwrap();
         for &(t, secs) in &shard.timings {
             let scenario = &plan.scenarios[tasks[t].0];
             let ref_secs = refs.get(&t).copied().unwrap_or(0.0);
             // Cells that paid for a capacity run split into a `run/` cell
             // (their own cost) and a `ref/` cell (the reference seconds),
-            // so `--calibrate` never averages the unlike costs.
-            sink.extend(CostModel::timing_cells(scenario, secs, ref_secs));
+            // so `--calibrate` never averages the unlike costs. Shard
+            // events are already net of the reference run, so re-add it
+            // here: `timing_cells` subtracts it back out per cell.
+            let ref_ev = ref_events.get(&t).copied().unwrap_or(0);
+            let ev = events.get(&t).copied().unwrap_or(0).saturating_add(ref_ev);
+            sink.extend(CostModel::timing_cells(
+                scenario, secs, ref_secs, ev, ref_ev,
+            ));
         }
     }
 }

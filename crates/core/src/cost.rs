@@ -34,7 +34,8 @@ use crate::scenario::{ArrivalSpec, ExecSpec, MplSpec, Scenario};
 use std::collections::BTreeMap;
 
 /// One cell's timing telemetry: which cost bucket it fell in, the model's
-/// structural units, and the measured wall-clock seconds.
+/// structural units, the measured wall-clock seconds, and the
+/// deterministic simulator event count.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CellTiming {
     /// Calibration bucket key (see [`CostModel::bucket`]).
@@ -43,6 +44,13 @@ pub struct CellTiming {
     pub units: f64,
     /// Measured wall-clock seconds for the cell.
     pub secs: f64,
+    /// Simulator events processed by the cell — a *deterministic* cost
+    /// signal, identical on every host for the same `(scenario, seed)`,
+    /// unlike `secs`. `0` means "not recorded" (legacy timing files);
+    /// when every cell of a dump carries events, calibration uses them
+    /// instead of seconds so the file is host-independent (see
+    /// [`CostModel::calibrated`]).
+    pub events: u64,
 }
 
 /// Predicts per-task wall-clock cost from scenario structure, optionally
@@ -51,9 +59,11 @@ pub struct CellTiming {
 pub struct CostModel {
     /// Measured seconds per structural unit, per bucket.
     scales: BTreeMap<String, f64>,
-    /// Measured seconds of one capacity (reference) run, per capacity
-    /// class (`workload/c<cpus>d<disks>`), learned from the within-bucket
-    /// spread of open-load cells (see [`CostModel::calibrated`]).
+    /// Measured cost of one capacity (reference) run, per capacity class
+    /// (`workload/c<cpus>d<disks>`), learned from the within-bucket
+    /// spread of open-load cells (see [`CostModel::calibrated`]). Same
+    /// currency as `scales` — seconds, or simulator events for
+    /// events-complete calibration dumps.
     capacity_secs: BTreeMap<String, f64>,
     /// Fallback seconds-per-unit for buckets never observed (1.0 for the
     /// uncalibrated structural model, the global mean after calibration).
@@ -95,6 +105,14 @@ impl CostModel {
     /// cache), and the largest spread over a capacity class's buckets
     /// estimates that class's reference seconds. Robust to junk input —
     /// non-finite or non-positive samples are dropped.
+    ///
+    /// **Currency.** When every kept sample (including `ref/` cells)
+    /// carries a simulator event count, the fit uses events instead of
+    /// seconds: events are deterministic in `(scenario, seed)`, so the
+    /// calibration file — and the shard slices balanced from it — are
+    /// identical on every host. Seconds remain the fallback for legacy
+    /// or partial dumps. Only ratios matter downstream, so the switch is
+    /// invisible to balancing quality; it only removes host noise.
     pub fn calibrated(timings: &[CellTiming]) -> CostModel {
         // `ref/` cells are direct observations of single reference runs
         // (see [`CostModel::ref_bucket`]); they feed `capacity_secs` and
@@ -104,29 +122,50 @@ impl CostModel {
         // prevent.
         let (refs, timings): (Vec<&CellTiming>, Vec<&CellTiming>) =
             timings.iter().partition(|t| t.bucket.starts_with("ref/"));
+        // Currency: wall-clock seconds are host-dependent, event counts
+        // are pure in `(scenario, seed)`. When every usable sample —
+        // measured cells and `ref/` cells alike — recorded an event
+        // count, calibrate in events so the model (and therefore
+        // cost-balanced slicing) is identical on every host. Any legacy
+        // or partial dump falls back to seconds. All-or-nothing: only
+        // *ratios* matter, so mixing currencies across buckets would skew
+        // the balance toward whichever cells happened to carry events.
+        let keep = |t: &CellTiming| {
+            t.secs.is_finite() && t.units.is_finite() && t.secs > 0.0 && t.units > 0.0
+        };
+        let keep_ref = |t: &CellTiming| t.secs.is_finite() && t.secs > 0.0;
+        let use_events = timings.iter().filter(|t| keep(t)).all(|t| t.events > 0)
+            && refs.iter().filter(|t| keep_ref(t)).all(|t| t.events > 0);
+        let cost = |t: &CellTiming| {
+            if use_events {
+                t.events as f64
+            } else {
+                t.secs
+            }
+        };
         let mut samples: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
-        let (mut all_secs, mut all_units) = (0.0f64, 0.0f64);
+        let (mut all_cost, mut all_units) = (0.0f64, 0.0f64);
         for t in &timings {
-            if !(t.secs.is_finite() && t.units.is_finite() && t.secs > 0.0 && t.units > 0.0) {
+            if !keep(t) {
                 continue;
             }
-            let ratio = t.secs / t.units;
+            let ratio = cost(t) / t.units;
             if ratio.is_finite() && ratio > 0.0 {
-                samples.entry(&t.bucket).or_default().push(t.secs);
-                all_secs += t.secs;
+                samples.entry(&t.bucket).or_default().push(cost(t));
+                all_cost += cost(t);
                 all_units += t.units;
             }
         }
-        let global = if all_units > 0.0 && all_secs > 0.0 {
-            all_secs / all_units
+        let global = if all_units > 0.0 && all_cost > 0.0 {
+            all_cost / all_units
         } else {
             1.0
         };
 
-        // Reference seconds per capacity class, from the within-bucket
-        // max−min spread of multi-sample open-load buckets. Bucket keys
-        // are `exec/arrivals/workload/cXdY/mZ`; the class is
-        // `workload/cXdY`.
+        // Reference cost per capacity class (same currency as the
+        // scales), from the within-bucket max−min spread of multi-sample
+        // open-load buckets. Bucket keys are
+        // `exec/arrivals/workload/cXdY/mZ`; the class is `workload/cXdY`.
         let mut capacity_secs: BTreeMap<String, f64> = BTreeMap::new();
         for (bucket, secs) in &samples {
             let parts: Vec<&str> = bucket.split('/').collect();
@@ -153,7 +192,7 @@ impl CostModel {
         // fallback for legacy timing files that carry no `ref/` cells.
         let mut direct: BTreeMap<String, f64> = BTreeMap::new();
         for t in &refs {
-            if !(t.secs.is_finite() && t.secs > 0.0) {
+            if !keep_ref(t) {
                 continue;
             }
             let parts: Vec<&str> = t.bucket.split('/').collect();
@@ -163,20 +202,20 @@ impl CostModel {
             let class = format!("{workload}/{hw}");
             direct
                 .entry(class)
-                .and_modify(|e| *e = e.min(t.secs))
-                .or_insert(t.secs);
+                .and_modify(|e| *e = e.min(cost(t)))
+                .or_insert_with(|| cost(t));
         }
         capacity_secs.extend(direct);
 
-        // Units cancel within a bucket (same cell class), so min seconds
+        // Units cancel within a bucket (same cell class), so min cost
         // over the bucket divided by the mean units would equal the min
         // ratio; recompute ratios from the kept samples directly.
         let mut scales = BTreeMap::new();
         for t in &timings {
-            if !(t.secs.is_finite() && t.units.is_finite() && t.secs > 0.0 && t.units > 0.0) {
+            if !keep(t) {
                 continue;
             }
-            let ratio = t.secs / t.units;
+            let ratio = cost(t) / t.units;
             if ratio.is_finite() && ratio > 0.0 {
                 let e = scales.entry(t.bucket.clone()).or_insert(f64::INFINITY);
                 *e = f64::min(*e, ratio);
@@ -263,7 +302,10 @@ impl CostModel {
                 ..
             } => 12.0, // exponential + binary MPL search ≈ a dozen runs
             ExecSpec::Run { .. } => 1.0,
-            ExecSpec::PriorityAtLoss { .. } => 14.0, // search + reference + priority runs
+            // The heavy multipliers cover the per-cell inner-simulation
+            // fan-out; the shared reference run is charged separately,
+            // once per shard per capacity group.
+            ExecSpec::PriorityAtLoss { .. } => 14.0, // search + priority runs
             ExecSpec::Controller { .. } => 8.0,      // windowed sessions until convergence
             // Calibration plus a fixed post-onset observation budget: the
             // convergence break is off, so the session always runs its
@@ -297,63 +339,89 @@ impl CostModel {
         txns * (1.0 + f64::from(scenario.setup.clients) / 40.0)
     }
 
-    /// Split one executed cell's wall-clock telemetry into calibration
-    /// cells: the cell's own cost (total minus reference compute) in its
+    /// Split one executed cell's telemetry into calibration cells: the
+    /// cell's own cost (total minus reference compute) in its
     /// [`CostModel::bucket`], plus — when the cell paid for a capacity
     /// run — a separate [`CostModel::ref_bucket`] cell carrying exactly
-    /// the reference seconds.
-    pub fn timing_cells(scenario: &Scenario, secs: f64, ref_secs: f64) -> Vec<CellTiming> {
+    /// the reference seconds. Event counts split the same way, so both
+    /// cells stay internally consistent whichever currency calibration
+    /// picks.
+    pub fn timing_cells(
+        scenario: &Scenario,
+        secs: f64,
+        ref_secs: f64,
+        events: u64,
+        ref_events: u64,
+    ) -> Vec<CellTiming> {
         let mut cells = vec![CellTiming {
             bucket: Self::bucket(scenario),
             units: Self::units(scenario),
             secs: (secs - ref_secs).max(0.0),
+            events: events.saturating_sub(ref_events),
         }];
         if ref_secs > 0.0 {
             cells.push(CellTiming {
                 bucket: Self::ref_bucket(scenario),
                 units: Self::ref_units(scenario),
                 secs: ref_secs,
+                events: ref_events,
             });
         }
         cells
     }
 
+    /// Whether this cell resolves a capacity (reference) measurement
+    /// through the plan-level [`MeasurementCache`](crate::MeasurementCache).
+    /// Open-load runs need the capacity to convert load into an arrival
+    /// rate; the heavy shapes (`AtLoss` searches, priority, controller,
+    /// chaos sessions) all call `Driver::reference` while resolving their
+    /// budgets and baselines — under the *same* cache key, since the key
+    /// covers only `(setup, rc, seed)`, never the execution shape.
+    fn resolves_reference(scenario: &Scenario) -> bool {
+        match &scenario.exec {
+            ExecSpec::Run {
+                mpl: MplSpec::AtLoss(_),
+                ..
+            } => true,
+            ExecSpec::Run { arrivals, .. } => matches!(arrivals, ArrivalSpec::OpenLoad(_)),
+            ExecSpec::PriorityAtLoss { .. }
+            | ExecSpec::Controller { .. }
+            | ExecSpec::Chaos { .. } => true,
+        }
+    }
+
     /// The shared capacity-measurement group of a task, if its cell
-    /// resolves an open-load arrival through the plan-level
+    /// resolves a reference run through the plan-level
     /// [`MeasurementCache`](crate::MeasurementCache): every task with the
     /// same key performs (or reuses) **one** reference run per process.
     /// Cost-balanced slicing charges [`CostModel::capacity_cost`] once
-    /// per shard per group — the marginal cost of the second open-load
-    /// cell on a shard is much lower than the first's, and treating them
-    /// as independent mispredicts both. The heavy shapes (`AtLoss`,
-    /// priority, controller) also resolve references, but their inner
-    /// simulation fan-out dominates and is carried by the execution-shape
-    /// multiplier instead, so they get no group.
+    /// per shard per group — the marginal cost of the second such cell on
+    /// a shard is much lower than the first's, and treating them as
+    /// independent mispredicts both. The heavy shapes (`AtLoss`,
+    /// priority, controller, chaos) join the same groups as open-load
+    /// runs on the same `(setup, rc, seed)`: they share one cache entry,
+    /// so their shared reference is charged once per shard too. Their
+    /// inner-simulation fan-out stays in the execution-shape multiplier —
+    /// that work runs per cell, on top of the shared reference.
     pub fn capacity_group(scenario: &Scenario, seed: u64) -> Option<String> {
-        match &scenario.exec {
-            ExecSpec::Run {
-                mpl: MplSpec::Fixed(_) | MplSpec::Unlimited,
-                arrivals: ArrivalSpec::OpenLoad(_),
-                ..
-            } => {
-                let (a, b) = scenario.setup.stable_fingerprint();
-                // Cover every RunConfig field a reference run depends on,
-                // mirroring MeasurementKey: cells merged into one group
-                // here must genuinely share a cache entry, or the
-                // balancer undercounts reference runs.
-                let rc = &scenario.rc;
-                Some(format!(
-                    "{a:016x}{b:016x}|{}|{}|{:016x}|{:016x}|{}|{:016x}|{seed}",
-                    rc.warmup_txns,
-                    rc.measured_txns,
-                    rc.max_sim_time.to_bits(),
-                    rc.min_warmup_time.to_bits(),
-                    u8::from(rc.warm_pool),
-                    rc.high_fraction.to_bits(),
-                ))
-            }
-            _ => None,
+        if !Self::resolves_reference(scenario) {
+            return None;
         }
+        let (a, b) = scenario.setup.stable_fingerprint();
+        // Cover every RunConfig field a reference run depends on,
+        // mirroring MeasurementKey: cells merged into one group here must
+        // genuinely share a cache entry, or the balancer undercounts
+        // reference runs.
+        let rc = &scenario.rc;
+        Some(format!(
+            "{a:016x}{b:016x}|{}|{}|{:016x}|{:016x}|{}|{:016x}|{seed}",
+            rc.warmup_txns,
+            rc.measured_txns,
+            rc.max_sim_time.to_bits(),
+            rc.min_warmup_time.to_bits(),
+            u8::from(rc.warm_pool),
+            rc.high_fraction.to_bits(),
+        ))
     }
 
     /// Predicted cost of one capacity (reference) run for this cell's
@@ -363,14 +431,7 @@ impl CostModel {
     /// client population at the cell's run length, scaled by the global
     /// calibration scale. Zero for cells with no capacity group.
     pub fn capacity_cost(&self, scenario: &Scenario) -> f64 {
-        if !matches!(
-            &scenario.exec,
-            ExecSpec::Run {
-                mpl: MplSpec::Fixed(_) | MplSpec::Unlimited,
-                arrivals: ArrivalSpec::OpenLoad(_),
-                ..
-            }
-        ) {
+        if !Self::resolves_reference(scenario) {
             return 0.0;
         }
         let class = format!(
@@ -437,8 +498,8 @@ pub fn encode_timing_cell(c: &CellTiming) -> String {
         .filter(|ch| ch.is_ascii() && *ch != '"' && *ch != '\\')
         .collect();
     format!(
-        "{{\"bucket\": \"{bucket}\", \"units\": {:.3}, \"secs\": {:.6}}}",
-        c.units, c.secs
+        "{{\"bucket\": \"{bucket}\", \"units\": {:.3}, \"secs\": {:.6}, \"events\": {}}}",
+        c.units, c.secs, c.events
     )
 }
 
@@ -485,10 +546,17 @@ pub fn decode_timings(text: &str) -> Result<Vec<CellTiming>, String> {
                 .parse::<f64>()
                 .map_err(|e| format!("bad `{name}` in `{line}`: {e}"))
         };
+        // Legacy dumps carry no event counts; 0 = unknown, which makes
+        // calibration fall back to the seconds currency.
+        let events = field("events")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
         cells.push(CellTiming {
             bucket,
             units: num("units")?,
             secs: num("secs")?,
+            events,
         });
     }
     Ok(cells)
@@ -553,6 +621,52 @@ mod tests {
         );
     }
 
+    /// The heavy shapes resolve their references through the same
+    /// measurement-cache key as open-load runs, so they join the same
+    /// capacity groups: one reference run per shard per (setup, rc, seed)
+    /// no matter how many priority/controller/chaos/search cells share it.
+    #[test]
+    fn heavy_shapes_join_capacity_groups() {
+        let open = run_scenario(1, 5, 800, ArrivalSpec::OpenLoad(0.9));
+        let g_open = CostModel::capacity_group(&open, 42).unwrap();
+        let model = CostModel::structural();
+        for exec in [
+            ExecSpec::Run {
+                mpl: MplSpec::AtLoss(0.05),
+                policy: PolicyKind::Fifo,
+                arrivals: ArrivalSpec::Saturated,
+            },
+            ExecSpec::PriorityAtLoss { loss: 0.05 },
+            ExecSpec::Controller {
+                targets: crate::controller::Targets::five_percent(),
+                start: None,
+            },
+        ] {
+            let heavy = Scenario {
+                exec,
+                ..open.clone()
+            };
+            let g = CostModel::capacity_group(&heavy, 42)
+                .unwrap_or_else(|| panic!("{:?} must join a group", heavy.exec));
+            assert_eq!(g, g_open, "{:?} shares the open-load reference", heavy.exec);
+            assert_ne!(
+                CostModel::capacity_group(&heavy, 43).unwrap(),
+                g,
+                "groups stay per-seed"
+            );
+            assert!(
+                model.capacity_cost(&heavy) > 0.0,
+                "{:?} charges its reference once per shard",
+                heavy.exec
+            );
+        }
+        // Closed fixed-MPL runs still resolve no reference.
+        assert!(
+            CostModel::capacity_group(&run_scenario(1, 5, 800, ArrivalSpec::Saturated), 42)
+                .is_none()
+        );
+    }
+
     #[test]
     fn buckets_separate_exec_arrival_and_workload() {
         let a = run_scenario(1, 5, 800, ArrivalSpec::Saturated);
@@ -576,11 +690,13 @@ mod tests {
                 bucket: CostModel::bucket(&fast),
                 units: u,
                 secs: 0.1,
+                events: 0,
             },
             CellTiming {
                 bucket: CostModel::bucket(&slow),
                 units: u,
                 secs: 1.0,
+                events: 0,
             },
         ];
         let model = CostModel::calibrated(&timings);
@@ -598,8 +714,8 @@ mod tests {
         let open = run_scenario(1, 5, 800, ArrivalSpec::OpenLoad(0.9));
         // One cell that paid a 0.5s reference on top of 0.1s of its own
         // work, one cache-hitting sibling at 0.1s flat.
-        let mut timings = CostModel::timing_cells(&open, 0.6, 0.5);
-        timings.extend(CostModel::timing_cells(&open, 0.1, 0.0));
+        let mut timings = CostModel::timing_cells(&open, 0.6, 0.5, 0, 0);
+        timings.extend(CostModel::timing_cells(&open, 0.1, 0.0, 0, 0));
         assert_eq!(timings.len(), 3);
         assert!(timings[1].bucket.starts_with("ref/capacity/"));
         assert_eq!(timings[1].bucket.split('/').count(), 5);
@@ -629,11 +745,13 @@ mod tests {
                 bucket: bucket.clone(),
                 units: u,
                 secs: 1.0,
+                events: 0,
             },
             CellTiming {
                 bucket,
                 units: u,
                 secs: 0.1,
+                events: 0,
             },
         ];
         let spread_only = CostModel::calibrated(&timings);
@@ -643,6 +761,7 @@ mod tests {
             bucket: CostModel::ref_bucket(&open),
             units: CostModel::ref_units(&open),
             secs: 0.4,
+            events: 0,
         });
         let model = CostModel::calibrated(&timings);
         assert!((model.capacity_cost(&open) - 0.4).abs() < 1e-12);
@@ -656,16 +775,19 @@ mod tests {
                 bucket: "x".into(),
                 units: 0.0,
                 secs: 1.0,
+                events: 0,
             },
             CellTiming {
                 bucket: "y".into(),
                 units: f64::NAN,
                 secs: 1.0,
+                events: 7,
             },
             CellTiming {
                 bucket: "z".into(),
                 units: 10.0,
                 secs: f64::INFINITY,
+                events: 3,
             },
         ];
         let model = CostModel::calibrated(&junk);
@@ -691,11 +813,13 @@ mod tests {
                 bucket: "run/saturated/W_CPU-inventory".into(),
                 units: 945.0,
                 secs: 0.1234,
+                events: 123_456,
             },
             CellTiming {
                 bucket: "priority/internal/W_CPU-browsing".into(),
                 units: 67_200.5,
                 secs: 12.5,
+                events: 0,
             },
         ];
         let text = encode_timings(&cells);
@@ -705,8 +829,70 @@ mod tests {
             assert_eq!(a.bucket, b.bucket);
             assert!((a.units - b.units).abs() < 1e-3);
             assert!((a.secs - b.secs).abs() < 1e-6);
+            assert_eq!(a.events, b.events);
         }
         assert!(decode_timings("{}").is_err());
         assert!(decode_timings(&encode_timings(&[])).unwrap().is_empty());
+        // Legacy dumps without an events field still decode (events = 0).
+        let legacy = text.replace(", \"events\": 123456", "");
+        let back = decode_timings(&legacy).unwrap();
+        assert_eq!(back[0].events, 0);
+    }
+
+    /// The host-independence satellite: when every cell of a dump carries
+    /// a simulator event count, calibration fits in events — the same
+    /// dump produces the same model no matter what wall-clock the host
+    /// happened to record. A single legacy (events = 0) cell falls the
+    /// whole fit back to seconds.
+    #[test]
+    fn event_counts_calibrate_host_independently() {
+        let fast = run_scenario(1, 5, 800, ArrivalSpec::Saturated);
+        let slow = run_scenario(3, 5, 800, ArrivalSpec::Saturated);
+        let u = CostModel::units(&fast);
+        let cells = |fast_secs: f64, slow_secs: f64| {
+            vec![
+                CellTiming {
+                    bucket: CostModel::bucket(&fast),
+                    units: u,
+                    secs: fast_secs,
+                    events: 10_000,
+                },
+                CellTiming {
+                    bucket: CostModel::bucket(&slow),
+                    units: u,
+                    secs: slow_secs,
+                    events: 40_000,
+                },
+            ]
+        };
+        // Two "hosts" with wildly different wall-clocks but identical
+        // event counts produce identical predictions.
+        let a = CostModel::calibrated(&cells(0.1, 0.2));
+        let b = CostModel::calibrated(&cells(3.0, 17.0));
+        assert_eq!(a.predict(&fast).to_bits(), b.predict(&fast).to_bits());
+        assert_eq!(a.predict(&slow).to_bits(), b.predict(&slow).to_bits());
+        // And the fitted ratio is the event ratio, not the seconds ratio.
+        let ratio = a.predict(&slow) / a.predict(&fast);
+        assert!((ratio - 4.0).abs() < 1e-9, "event ratio expected: {ratio}");
+
+        // One cell without events ⇒ seconds currency for everyone.
+        let mut mixed = cells(0.1, 0.2);
+        mixed[1].events = 0;
+        let m = CostModel::calibrated(&mixed);
+        let ratio = m.predict(&slow) / m.predict(&fast);
+        assert!((ratio - 2.0).abs() < 1e-9, "seconds fallback: {ratio}");
+
+        // Ref cells participate in the currency switch: an events-only
+        // dump learns capacity cost in events too.
+        let open = run_scenario(1, 5, 800, ArrivalSpec::OpenLoad(0.9));
+        let mut with_ref = cells(0.1, 0.2);
+        with_ref.push(CellTiming {
+            bucket: CostModel::ref_bucket(&open),
+            units: CostModel::ref_units(&open),
+            secs: 0.4,
+            events: 25_000,
+        });
+        let m = CostModel::calibrated(&with_ref);
+        assert!((m.capacity_cost(&open) - 25_000.0).abs() < 1e-9);
     }
 }

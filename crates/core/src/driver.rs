@@ -463,6 +463,14 @@ pub struct Driver {
     /// (capacity) runs — cache hits cost nothing. Observational: feeds
     /// the `ref/`-bucket timing telemetry, never a result.
     ref_secs: std::cell::Cell<f64>,
+    /// Simulator events processed across every run this driver executed —
+    /// a deterministic cost signal (pure in the inputs, unlike wall
+    /// clock). Observational: feeds the host-independent calibration
+    /// telemetry, never a result.
+    events: std::cell::Cell<u64>,
+    /// The share of `events` spent computing reference runs (cache hits
+    /// cost nothing), split out for the same reason as `ref_secs`.
+    ref_events: std::cell::Cell<u64>,
 }
 
 impl Driver {
@@ -473,6 +481,8 @@ impl Driver {
             rc: RunConfig::default(),
             cache: None,
             ref_secs: std::cell::Cell::new(0.0),
+            events: std::cell::Cell::new(0),
+            ref_events: std::cell::Cell::new(0),
         }
     }
 
@@ -542,9 +552,12 @@ impl Driver {
     pub fn reference(&self) -> RunResult {
         let measure = || {
             let started = std::time::Instant::now();
+            let events_before = self.events.get();
             let r = self.run(self.setup.clients, PolicyKind::Fifo, &self.saturated());
             self.ref_secs
                 .set(self.ref_secs.get() + started.elapsed().as_secs_f64());
+            self.ref_events
+                .set(self.ref_events.get() + (self.events.get() - events_before));
             r
         };
         match &self.cache {
@@ -568,6 +581,20 @@ impl Driver {
     /// cell that happened to miss the cache.
     pub fn reference_compute_secs(&self) -> f64 {
         self.ref_secs.get()
+    }
+
+    /// Simulator events processed by every run this driver executed so
+    /// far. Deterministic in the runs performed — the host-independent
+    /// analogue of wall-clock seconds for cost calibration.
+    pub fn events_processed(&self) -> u64 {
+        self.events.get()
+    }
+
+    /// The share of [`Driver::events_processed`] spent *computing*
+    /// reference runs (cache hits cost nothing) — split out so capacity
+    /// events bill to a `ref/` bucket exactly like reference seconds.
+    pub fn reference_compute_events(&self) -> u64 {
+        self.ref_events.get()
     }
 
     /// Throughput (and everything else) at each MPL in `mpls`, saturated
@@ -1069,6 +1096,7 @@ impl Driver {
             }
         }
 
+        self.events.set(self.events.get() + sim.events_processed());
         let metrics = sim.metrics();
         let span = (meas_end_t - meas_start_t).max(1e-9);
         let measured = rt_all.count();

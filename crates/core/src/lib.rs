@@ -48,10 +48,18 @@
 //! * [`journal`] — the kill-safe [`CheckpointJournal`]: completed task
 //!   outcomes fsync'd through the shard codec, with truncation-tolerant
 //!   [`JournalReplay`] so `--resume` skips finished work and merges
-//!   byte-identical to an uninterrupted run.
+//!   byte-identical to an uninterrupted run;
+//! * [`coord`] — the cross-host work-stealing layer: a [`Coordinator`]
+//!   handing out task leases over a line-based wire protocol, worker
+//!   clients with heartbeats and deterministic reconnect backoff, lease
+//!   expiry + reassignment for dead workers, journal-backed coordinator
+//!   crash recovery, and a deterministic wire-fault injector — all under
+//!   the invariant that a coordinated sweep merges byte-identical to a
+//!   direct run.
 
 pub mod cache;
 pub mod controller;
+pub mod coord;
 pub mod cost;
 pub mod driver;
 pub mod fault;
@@ -66,6 +74,11 @@ pub mod sweep;
 
 pub use cache::{MeasurementCache, MeasurementKey, MeasurementKind};
 pub use controller::{ControllerConfig, Decision, MplController, Reference, Targets};
+pub use coord::{
+    call, run_worker, serve_line, CoordConfig, CoordServer, Coordinator, FaultyTransport,
+    LocalTransport, Request, Response, TcpTransport, Transport, WireFault, WireFaultInjector,
+    WorkerConfig, WorkerError, WorkerSummary,
+};
 pub use cost::{CellTiming, CostModel};
 pub use driver::{
     combine_subruns, ChaosOutcome, ControllerOutcome, Driver, PolicyKind, PriorityOutcome,
@@ -78,7 +91,9 @@ pub use gate::MplGate;
 pub use journal::{CheckpointJournal, JournalReplay};
 pub use observe::SweepObs;
 pub use policy::{Fifo, PriorityFifo, QueuePolicy, QueuedTxn, Sjf, WeightedFair};
-pub use scenario::{ArrivalSpec, ExecSpec, MplSpec, Scenario, ScenarioOutcome, UnitOutcome};
+pub use scenario::{
+    ArrivalSpec, ExecSpec, MplSpec, Scenario, ScenarioOutcome, UnitCost, UnitOutcome,
+};
 pub use scheduler::ExternalScheduler;
 pub use shard::{DecodeError, ShardResult};
 pub use sweep::{BalanceMode, FoldStats, ScenarioResult, SweepExecutor, SweepPlan};

@@ -185,11 +185,13 @@ mod tests {
                 bucket: "w/c1d1/run".into(),
                 units: 800.0,
                 secs: 0.5,
+                events: 120_000,
             },
             CellTiming {
                 bucket: "w/c1d1/controller".into(),
                 units: 4000.0,
                 secs: 2.25,
+                events: 0,
             },
         ];
         let snap = sample_obs().snapshot(&cells);

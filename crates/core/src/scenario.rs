@@ -178,17 +178,18 @@ impl Scenario {
         self.run_timed(seed, cache, obs).0
     }
 
-    /// [`Scenario::run_observed`] plus the wall-clock seconds spent
-    /// *computing* reference (capacity) runs along the way — zero when
-    /// every reference lookup hit the cache. The sweep executor separates
-    /// this from the cell's own cost so timing telemetry bills capacity
-    /// runs to a distinct `ref/` bucket.
+    /// [`Scenario::run_observed`] plus the cell's cost telemetry
+    /// ([`UnitCost`]): the wall-clock seconds spent *computing* reference
+    /// (capacity) runs along the way — zero when every reference lookup
+    /// hit the cache — and the deterministic simulator event counts. The
+    /// sweep executor separates reference cost from the cell's own so
+    /// timing telemetry bills capacity runs to a distinct `ref/` bucket.
     pub fn run_timed(
         &self,
         seed: u64,
         cache: Option<&Arc<MeasurementCache>>,
         obs: Option<&SweepObs>,
-    ) -> (ScenarioOutcome, f64) {
+    ) -> (ScenarioOutcome, UnitCost) {
         let rc = RunConfig {
             seed,
             ..self.rc.clone()
@@ -233,7 +234,7 @@ impl Scenario {
                 None => ScenarioOutcome::Chaos(driver.run_chaos(chaos, *targets, *start)),
             },
         };
-        (outcome, driver.reference_compute_secs())
+        (outcome, UnitCost::from_drivers(&[&driver]))
     }
 
     /// Number of sub-runs the sweep executor splits this cell into: the
@@ -253,7 +254,7 @@ impl Scenario {
 
     /// Execute sub-run `k` of `of` for this cell (only valid for the
     /// shapes [`Scenario::subrun_count`] splits). Returns the sub-run's
-    /// result plus reference-compute seconds (see [`Scenario::run_timed`]).
+    /// result plus cost telemetry (see [`Scenario::run_timed`]).
     ///
     /// The split discipline: arrival/MPL specs resolve against the
     /// *parent* seed (so an open-load cell's capacity reference is the
@@ -270,7 +271,7 @@ impl Scenario {
         k: u32,
         of: u32,
         cache: Option<&Arc<MeasurementCache>>,
-    ) -> (RunResult, f64) {
+    ) -> (RunResult, UnitCost) {
         let ExecSpec::Run {
             mpl,
             policy,
@@ -301,10 +302,7 @@ impl Scenario {
             sub = sub.with_cache(Arc::clone(cache));
         }
         let result = sub.run(m, *policy, &arr);
-        (
-            result,
-            parent.reference_compute_secs() + sub.reference_compute_secs(),
-        )
+        (result, UnitCost::from_drivers(&[&parent, &sub]))
     }
 
     /// Execute one work *unit* of this cell: the whole scenario when it
@@ -312,8 +310,8 @@ impl Scenario {
     /// This is the single dispatch point the sweep executor's guarded
     /// (fault-tolerant) path runs under `catch_unwind` and the watchdog —
     /// one function owning "run exactly this unit" keeps the retry loop
-    /// shape-agnostic. Returns the unit's outcome plus reference-compute
-    /// seconds (see [`Scenario::run_timed`]).
+    /// shape-agnostic. Returns the unit's outcome plus cost telemetry
+    /// (see [`Scenario::run_timed`]).
     pub fn run_unit(
         &self,
         seed: u64,
@@ -321,13 +319,13 @@ impl Scenario {
         of: u32,
         cache: Option<&Arc<MeasurementCache>>,
         obs: Option<&SweepObs>,
-    ) -> (UnitOutcome, f64) {
+    ) -> (UnitOutcome, UnitCost) {
         if of <= 1 {
-            let (outcome, ref_secs) = self.run_timed(seed, cache, obs);
-            (UnitOutcome::Whole(outcome), ref_secs)
+            let (outcome, cost) = self.run_timed(seed, cache, obs);
+            (UnitOutcome::Whole(outcome), cost)
         } else {
-            let (result, ref_secs) = self.run_subrun(seed, k, of, cache);
-            (UnitOutcome::Part(result), ref_secs)
+            let (result, cost) = self.run_subrun(seed, k, of, cache);
+            (UnitOutcome::Part(result), cost)
         }
     }
 
@@ -350,6 +348,35 @@ pub enum UnitOutcome {
     Whole(ScenarioOutcome),
     /// The unit was one sub-run of a split cell.
     Part(RunResult),
+}
+
+/// Observational cost telemetry of one executed unit. `ref_secs` is
+/// host- and cache-dependent wall clock; the event counts are
+/// deterministic in the runs the unit performed (which runs those are —
+/// i.e. whether a reference computed or hit the cache — still depends on
+/// claim order, which is why the sweep layer reports the cache-stable
+/// `events - ref_events` difference per cell). Never part of a result.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct UnitCost {
+    /// Wall-clock seconds spent computing reference (capacity) runs.
+    pub ref_secs: f64,
+    /// Total simulator events processed by the unit.
+    pub events: u64,
+    /// The share of `events` spent computing reference runs.
+    pub ref_events: u64,
+}
+
+impl UnitCost {
+    /// Sum the cost telemetry of the drivers a unit executed through.
+    fn from_drivers(drivers: &[&Driver]) -> UnitCost {
+        let mut cost = UnitCost::default();
+        for d in drivers {
+            cost.ref_secs += d.reference_compute_secs();
+            cost.events += d.events_processed();
+            cost.ref_events += d.reference_compute_events();
+        }
+        cost
+    }
 }
 
 /// The measured outcome of one scenario replication.

@@ -100,6 +100,17 @@ pub struct ShardResult {
     /// (cost-model calibration bills these to a `ref/` bucket) and an
     /// optional trailing wire section older payloads lack.
     pub ref_timings: Vec<(usize, f64)>,
+    /// `(global task index, simulation events processed)` for the tasks
+    /// this shard executed, *net of* any reference-run events (those are
+    /// reported separately below). Unlike wall-clock [`ShardResult::timings`]
+    /// this signal is deterministic in `(scenario, seed)`, so calibration
+    /// files built from it are host-independent. Observational only;
+    /// an optional trailing wire section older payloads lack.
+    pub events: Vec<(usize, u64)>,
+    /// `(global task index, simulation events spent computing reference
+    /// runs)` — the event-currency counterpart of
+    /// [`ShardResult::ref_timings`]: sparse, deterministic, observational.
+    pub ref_events: Vec<(usize, u64)>,
 }
 
 impl ShardResult {
@@ -196,6 +207,12 @@ impl ShardResult {
         for (t, secs) in &self.ref_timings {
             out.push_str(&format!("reftiming {t} {}\n", fh(*secs)));
         }
+        for (t, n) in &self.events {
+            out.push_str(&format!("events {t} {n}\n"));
+        }
+        for (t, n) in &self.ref_events {
+            out.push_str(&format!("refevents {t} {n}\n"));
+        }
         out
     }
 
@@ -244,6 +261,18 @@ impl ShardResult {
         let mut failures = Vec::new();
         let mut timings = Vec::new();
         let mut ref_timings = Vec::new();
+        let mut events = Vec::new();
+        let mut ref_events = Vec::new();
+        let parse_events = |rest: &str| -> Result<(usize, u64), String> {
+            let (idx, count) = rest
+                .split_once(' ')
+                .ok_or_else(|| "malformed events line".to_string())?;
+            let t: usize = idx.parse().map_err(|e| format!("bad events index: {e}"))?;
+            let n: u64 = count
+                .parse()
+                .map_err(|e| format!("bad event count `{count}`: {e}"))?;
+            Ok((t, n))
+        };
         let parse_timing = |rest: &str| -> Result<(usize, f64), String> {
             let (idx, bits) = rest
                 .split_once(' ')
@@ -262,6 +291,14 @@ impl ShardResult {
             }
             if let Some(rest) = line.strip_prefix("reftiming ") {
                 ref_timings.push(parse_timing(rest).map_err(&fail)?);
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("events ") {
+                events.push(parse_events(rest).map_err(&fail)?);
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("refevents ") {
+                ref_events.push(parse_events(rest).map_err(&fail)?);
                 continue;
             }
             if let Some(rest) = line.strip_prefix("failed ") {
@@ -297,6 +334,8 @@ impl ShardResult {
             failures,
             timings,
             ref_timings,
+            events,
+            ref_events,
         })
     }
 }
@@ -730,8 +769,10 @@ mod tests {
         let plan = tiny_plan();
         let mut shard = SweepExecutor::serial().run_shard(&plan, 1, 2);
         // Saturated cells never pay for a reference run, so inject a
-        // reference timing to exercise the sparse `reftiming` section.
+        // reference timing (and its event-currency twin) to exercise the
+        // sparse `reftiming`/`refevents` sections.
         shard.ref_timings.push((3, 0.125));
+        shard.ref_events.push((3, 777));
         let decoded = ShardResult::decode(&shard.encode()).unwrap();
         assert_eq!(decoded.shard, 1);
         assert_eq!(decoded.of, 2);
@@ -750,6 +791,12 @@ mod tests {
             assert_eq!(a.to_bits(), b.to_bits());
         }
         assert_eq!(decoded.ref_timings, vec![(3, 0.125)]);
+        // The deterministic event counts ride along exactly, one per
+        // executed task, plus the injected sparse reference entry.
+        assert_eq!(decoded.events, shard.events);
+        assert_eq!(decoded.events.len(), shard.entries.len());
+        assert!(decoded.events.iter().all(|&(_, n)| n > 0));
+        assert_eq!(decoded.ref_events, vec![(3, 777)]);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::fault::{
 };
 use crate::journal::{CheckpointJournal, JournalReplay};
 use crate::observe::SweepObs;
-use crate::scenario::{Scenario, ScenarioOutcome, UnitOutcome};
+use crate::scenario::{Scenario, ScenarioOutcome, UnitCost, UnitOutcome};
 use crate::shard::ShardResult;
 use serde::Serialize;
 use std::collections::BTreeMap;
@@ -399,12 +399,29 @@ impl SweepExecutor {
     /// outcomes land in slots indexed by task id, so claim order (like
     /// thread count) never changes a result byte.
     pub fn run_shard(&self, plan: &SweepPlan, index: usize, of: usize) -> ShardResult {
-        let tasks = plan.tasks();
-        let fp = plan.fingerprint();
         let mine = match self.balance {
             BalanceMode::Stride => plan.shard(index, of),
             BalanceMode::Cost => plan.shard_balanced(index, of, &self.cost_model),
         };
+        self.run_task_list(plan, mine, index, of)
+    }
+
+    /// Execute an explicit list of global task indices — the entry point
+    /// for coordinated execution, where a lease server hands out task ids
+    /// one at a time instead of a worker owning a static shard slice.
+    /// This is the exact code path of [`SweepExecutor::run_shard`] (which
+    /// delegates here), so outcomes are bit-identical however the indices
+    /// were chosen. `index`/`of` only label the returned [`ShardResult`]
+    /// and progress lines; they never affect a result byte.
+    pub fn run_task_list(
+        &self,
+        plan: &SweepPlan,
+        mine: Vec<usize>,
+        index: usize,
+        of: usize,
+    ) -> ShardResult {
+        let tasks = plan.tasks();
+        let fp = plan.fingerprint();
         let cache = self.cache.clone().unwrap_or_else(MeasurementCache::shared);
 
         // `claim[k]` is the position in `mine` the k-th claim executes:
@@ -437,7 +454,7 @@ impl SweepExecutor {
             .map(|&t| plan.scenarios[tasks[t].0].subrun_count())
             .collect();
 
-        let slots: Vec<Mutex<Option<(TaskOutcome, f64, f64)>>> =
+        let slots: Vec<Mutex<Option<(TaskOutcome, f64, UnitCost)>>> =
             mine.iter().map(|_| Mutex::new(None)).collect();
 
         let obs = self.obs.as_deref();
@@ -452,7 +469,7 @@ impl SweepExecutor {
         if let Some(replay) = &self.resume {
             for (pos, &t) in mine.iter().enumerate() {
                 if let Some(outcome) = replay.outcome(fp, t) {
-                    *relock(&slots[pos]) = Some((outcome.clone(), 0.0, 0.0));
+                    *relock(&slots[pos]) = Some((outcome.clone(), 0.0, UnitCost::default()));
                     resumed[pos] = true;
                 }
             }
@@ -498,7 +515,7 @@ impl SweepExecutor {
         // the per-worker counters still sum to the task count whatever
         // the sub-run fan-out.
         let finish_cell =
-            |pos: usize, outcome: TaskOutcome, secs: f64, ref_secs: f64, worker: usize| {
+            |pos: usize, outcome: TaskOutcome, secs: f64, cost: UnitCost, worker: usize| {
                 if let Some(journal) = &self.journal {
                     journal
                         .record(mine[pos], &outcome)
@@ -513,7 +530,7 @@ impl SweepExecutor {
                         });
                     }
                 }
-                *relock(&slots[pos]) = Some((outcome, secs, ref_secs));
+                *relock(&slots[pos]) = Some((outcome, secs, cost));
                 let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                 if let Some(obs) = obs {
                     let r = obs.registry();
@@ -541,7 +558,7 @@ impl SweepExecutor {
             let (si, seed) = tasks[t];
             let scenario = &plan.scenarios[si];
             let started = Instant::now();
-            let result: Result<(UnitOutcome, f64), TaskFailure> = if self.faults.active() {
+            let result: Result<(UnitOutcome, UnitCost), TaskFailure> = if self.faults.active() {
                 self.run_unit_guarded(scenario, t, seed, k, subs[pos], &cache)
             } else {
                 Ok(scenario.run_unit(seed, k, subs[pos], Some(&cache), obs))
@@ -555,34 +572,42 @@ impl SweepExecutor {
             }
             if subs[pos] <= 1 {
                 match result {
-                    Ok((unit, ref_secs)) => {
+                    Ok((unit, cost)) => {
                         let UnitOutcome::Whole(outcome) = unit else {
                             unreachable!("an unsplit cell always yields a whole outcome");
                         };
-                        finish_cell(pos, TaskOutcome::Ok(outcome), secs, ref_secs, worker);
+                        finish_cell(pos, TaskOutcome::Ok(outcome), secs, cost, worker);
                     }
                     Err(failure) => {
-                        finish_cell(pos, TaskOutcome::Failed(failure), secs, 0.0, worker);
+                        finish_cell(
+                            pos,
+                            TaskOutcome::Failed(failure),
+                            secs,
+                            UnitCost::default(),
+                            worker,
+                        );
                     }
                 }
             } else {
-                let (part, ref_secs) = match result {
-                    Ok((UnitOutcome::Part(part), ref_secs)) => (Ok(part), ref_secs),
+                let (part, unit_cost) = match result {
+                    Ok((UnitOutcome::Part(part), cost)) => (Ok(part), cost),
                     Ok((UnitOutcome::Whole(_), _)) => {
                         unreachable!("a split cell always yields sub-run parts")
                     }
-                    Err(failure) => (Err(failure), 0.0),
+                    Err(failure) => (Err(failure), UnitCost::default()),
                 };
                 let completed = {
                     let mut acc = relock(&accs[pos]);
                     acc.parts[k as usize] = Some(part);
                     acc.secs += secs;
-                    acc.ref_secs += ref_secs;
+                    acc.cost.ref_secs += unit_cost.ref_secs;
+                    acc.cost.events += unit_cost.events;
+                    acc.cost.ref_events += unit_cost.ref_events;
                     acc.done += 1;
                     (acc.done == subs[pos])
-                        .then(|| (std::mem::take(&mut acc.parts), acc.secs, acc.ref_secs))
+                        .then(|| (std::mem::take(&mut acc.parts), acc.secs, acc.cost))
                 };
-                if let Some((parts, secs, ref_secs)) = completed {
+                if let Some((parts, secs, cost)) = completed {
                     // Every unit has landed. If any failed, the cell
                     // fails with the lowest-k failure — deterministic in
                     // the unit grid, not in worker scheduling.
@@ -600,7 +625,7 @@ impl SweepExecutor {
                         None => TaskOutcome::Ok(ScenarioOutcome::Run(combine_subruns(&results))),
                         Some(f) => TaskOutcome::Failed(f),
                     };
-                    finish_cell(pos, outcome, secs, ref_secs, worker);
+                    finish_cell(pos, outcome, secs, cost, worker);
                 }
             }
         };
@@ -654,8 +679,10 @@ impl SweepExecutor {
         let mut failures = Vec::new();
         let mut timings = Vec::with_capacity(mine.len());
         let mut ref_timings = Vec::new();
+        let mut events = Vec::with_capacity(mine.len());
+        let mut ref_events = Vec::new();
         for (i, (t, slot)) in mine.into_iter().zip(slots).enumerate() {
-            let (outcome, secs, ref_secs) = slot
+            let (outcome, secs, cost) = slot
                 .into_inner()
                 .unwrap_or_else(PoisonError::into_inner)
                 .expect("every sweep task produces an outcome");
@@ -668,8 +695,16 @@ impl SweepExecutor {
                 continue;
             }
             timings.push((t, secs));
-            if ref_secs > 0.0 {
-                ref_timings.push((t, ref_secs));
+            if cost.ref_secs > 0.0 {
+                ref_timings.push((t, cost.ref_secs));
+            }
+            // Per-cell cost is charged net of the shared reference run so
+            // the signal is stable under cache claim order.
+            if cost.events > 0 {
+                events.push((t, cost.events.saturating_sub(cost.ref_events)));
+            }
+            if cost.ref_events > 0 {
+                ref_events.push((t, cost.ref_events));
             }
         }
         ShardResult {
@@ -681,12 +716,14 @@ impl SweepExecutor {
             failures,
             timings,
             ref_timings,
+            events,
+            ref_events,
         }
     }
 
     /// Run one task unit under the engaged fault policy: up to
     /// `1 + retries` guarded attempts with deterministic backoff between
-    /// them. Returns the unit's outcome plus its reference-run seconds,
+    /// them. Returns the unit's outcome plus its [`UnitCost`],
     /// or the final attempt's failure once the budget is exhausted.
     ///
     /// Determinism: the scenario re-runs under its unchanged `seed` every
@@ -701,7 +738,7 @@ impl SweepExecutor {
         k: u32,
         of: u32,
         cache: &Arc<MeasurementCache>,
-    ) -> Result<(UnitOutcome, f64), TaskFailure> {
+    ) -> Result<(UnitOutcome, UnitCost), TaskFailure> {
         let obs = self.obs.as_deref();
         let mut attempt = 0u32;
         loop {
@@ -756,7 +793,7 @@ impl SweepExecutor {
         of: u32,
         cache: &Arc<MeasurementCache>,
         inject: Option<InjectedFault>,
-    ) -> Result<(UnitOutcome, f64), TaskError> {
+    ) -> Result<(UnitOutcome, UnitCost), TaskError> {
         let obs = self.obs.as_deref();
         match self.faults.task_timeout_secs {
             None => catch_unwind(AssertUnwindSafe(|| {
@@ -964,7 +1001,7 @@ fn apply_injected(inject: Option<InjectedFault>) {
 struct SubAcc {
     parts: Vec<Option<Result<RunResult, TaskFailure>>>,
     secs: f64,
-    ref_secs: f64,
+    cost: UnitCost,
     done: u32,
 }
 
@@ -973,7 +1010,7 @@ impl SubAcc {
         SubAcc {
             parts: vec![None; n],
             secs: 0.0,
-            ref_secs: 0.0,
+            cost: UnitCost::default(),
             done: 0,
         }
     }

@@ -128,6 +128,37 @@ pub enum TraceEvent {
         /// Total attempts made before giving up.
         attempts: u32,
     },
+    /// Coordinator: a task lease was granted to a worker. Like the
+    /// harness events above, carries no simulation time — emitted by the
+    /// sweep coordinator, outside any simulation.
+    LeaseGranted {
+        /// Global task index within the sweep plan.
+        task: u64,
+        /// Dense worker id (hello order at the coordinator).
+        worker: u64,
+    },
+    /// Coordinator: a lease outlived its deadline without a heartbeat;
+    /// the task returned to the pending queue.
+    LeaseExpired {
+        /// Global task index within the sweep plan.
+        task: u64,
+        /// Dense id of the worker that held the dead lease.
+        worker: u64,
+    },
+    /// Coordinator: a previously-expired task was leased again — the
+    /// recovery path that makes a SIGKILLed worker survivable.
+    TaskReassigned {
+        /// Global task index within the sweep plan.
+        task: u64,
+        /// Dense id of the worker now holding the lease.
+        worker: u64,
+    },
+    /// Coordinator: a known worker re-introduced itself — it reconnected
+    /// after a transport failure (or a coordinator restart).
+    WorkerReconnect {
+        /// Dense worker id.
+        worker: u64,
+    },
 }
 
 impl TraceEvent {
@@ -150,11 +181,15 @@ impl TraceEvent {
             TraceEvent::ControllerDiscard { .. } => 12,
             TraceEvent::TaskRetry { .. } => 13,
             TraceEvent::TaskFailed { .. } => 14,
+            TraceEvent::LeaseGranted { .. } => 15,
+            TraceEvent::LeaseExpired { .. } => 16,
+            TraceEvent::TaskReassigned { .. } => 17,
+            TraceEvent::WorkerReconnect { .. } => 18,
         }
     }
 
     /// Number of distinct event kinds.
-    pub const KINDS: usize = 15;
+    pub const KINDS: usize = 19;
 
     /// Stable short name of a kind index.
     pub fn kind_name(kind: usize) -> &'static str {
@@ -174,6 +209,10 @@ impl TraceEvent {
             "controller_discard",
             "task_retry",
             "task_failed",
+            "lease_granted",
+            "lease_expired",
+            "task_reassigned",
+            "worker_reconnect",
         ][kind]
     }
 }
